@@ -1,0 +1,46 @@
+"""Figure 1 — the general retiming pattern.
+
+Figure 1 of the paper shows the universal rewriting pattern: a combinational
+part split into ``f`` and ``g`` with the compound register ``D q`` moved to
+``D f(q)``.  The benchmark measures the logical core of that pattern in
+isolation: constructing the universal theorem (once per theory) and
+instantiating it at a concrete ``f``/``g``/``q`` through the kernel — the
+cost of "step 2" of the HASH procedure, independent of any netlist.
+"""
+
+import pytest
+
+from repro.automata.retiming_theorem import instantiate_retiming, retiming_theorem
+from repro.circuits.generators import figure2, figure2_cut
+from repro.formal.embed import embed_netlist
+from repro.formal.formal_retiming import analyse_cut, build_f_term, build_g_term
+
+
+@pytest.fixture(scope="module")
+def pattern_instance():
+    netlist = figure2(8)
+    embedded = embed_netlist(netlist)
+    analysis = analyse_cut(netlist, figure2_cut(), embedded)
+    f_term = build_f_term(netlist, embedded, analysis)
+    g_term = build_g_term(netlist, embedded, analysis)
+    return f_term, g_term, embedded.init
+
+
+def test_fig1_retiming_theorem_available(benchmark):
+    """Building / fetching the universal theorem is a constant-cost operation."""
+    thm = benchmark(retiming_theorem)
+    assert thm.is_equation()
+    assert not thm.hyps
+
+
+def test_fig1_instantiate_pattern(benchmark, pattern_instance):
+    """Instantiating the Figure-1 pattern at a concrete f, g, q."""
+    f_term, g_term, q = pattern_instance
+
+    def instantiate():
+        return instantiate_retiming(f_term, g_term, q)
+
+    thm = benchmark(instantiate)
+    assert thm.is_equation()
+    # the instantiated left-hand side mentions the concrete f and g
+    assert "INCW" in str(thm.lhs)

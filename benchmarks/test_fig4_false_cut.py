@@ -1,0 +1,46 @@
+"""Figure 4 — the false cut.
+
+A heuristic that proposes ``f`` = comparator + multiplexer (both of which
+depend on the primary inputs) cannot be matched against the retiming scheme;
+the paper stresses that the formal procedure then *fails* — it can never
+produce an incorrect theorem.  The benchmark measures the cost of that
+failure path (it is cheap: the cut analysis rejects it before any proof
+work) and asserts that no theorem escapes.
+"""
+
+import pytest
+
+from repro.circuits.generators import figure2, figure2_false_cut
+from repro.formal import FormalSynthesisError, formal_forward_retiming
+from repro.retiming.apply import RetimingApplyError, apply_forward_retiming
+
+WIDTH = 8
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return figure2(WIDTH)
+
+
+def test_fig4_false_cut_fails_formally(benchmark, circuit):
+    def attempt():
+        try:
+            formal_forward_retiming(circuit, figure2_false_cut())
+        except FormalSynthesisError as exc:
+            return exc
+        raise AssertionError("the false cut produced a theorem")
+
+    exc = benchmark(attempt)
+    assert "false cut" in str(exc)
+
+
+def test_fig4_false_cut_fails_conventionally(benchmark, circuit):
+    def attempt():
+        try:
+            apply_forward_retiming(circuit, figure2_false_cut())
+        except RetimingApplyError as exc:
+            return exc
+        raise AssertionError("the conventional engine accepted the false cut")
+
+    exc = benchmark(attempt)
+    assert "false cut" in str(exc)

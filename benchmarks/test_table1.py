@@ -1,0 +1,83 @@
+"""Table I — SIS / SMV / HASH on the scalable Figure-2 example.
+
+Each benchmark measures one cell of the table (one method at one bit width);
+the final test regenerates a quick version of the whole table, writes it to
+``benchmarks/results/table1.txt`` and asserts the paper's qualitative shape:
+
+* the BDD-based verifiers' run time grows super-linearly with the bit width
+  and exceeds the budget at the largest width (the paper's dash), while
+* HASH completes at every width with only moderate growth, and
+* HASH is *not* the fastest method at the smallest width (its base cost is
+  higher — "this makes HASH slower for small sized circuits").
+"""
+
+import os
+
+import pytest
+
+from repro.eval import table1
+from repro.eval.runner import run_hash, run_verifier
+from repro.eval.workloads import table1_workload
+
+#: widths benchmarked cell-by-cell (kept small so the suite stays fast)
+CELL_WIDTHS = [2, 4, 6]
+#: widths used for the full quick table
+TABLE_WIDTHS = [1, 2, 4, 6, 8]
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {n: table1_workload(n) for n in set(CELL_WIDTHS) | set(TABLE_WIDTHS)}
+
+
+@pytest.mark.parametrize("width", CELL_WIDTHS)
+@pytest.mark.parametrize("method", ["sis", "smv"])
+def test_table1_verifier_cell(benchmark, workloads, method, width, verifier_budget):
+    workload = workloads[width]
+
+    def cell():
+        return run_verifier(workload, method, time_budget=verifier_budget)
+
+    measurement = benchmark.pedantic(cell, rounds=1, iterations=1)
+    assert measurement.status in ("ok", "timeout")
+
+
+@pytest.mark.parametrize("width", CELL_WIDTHS + [16, 32])
+def test_table1_hash_cell(benchmark, workloads, width):
+    workload = workloads.get(width) or table1_workload(width)
+
+    def cell():
+        return run_hash(workload)
+
+    measurement = benchmark.pedantic(cell, rounds=1, iterations=1)
+    assert measurement.status == "ok"
+
+
+def test_table1_full_shape(benchmark, results_dir, verifier_budget):
+    def build():
+        return table1.run_table1(widths=TABLE_WIDTHS, time_budget=verifier_budget)
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    text = table1.render(rows)
+    with open(os.path.join(results_dir, "table1.txt"), "w") as fh:
+        fh.write(text + "\n")
+
+    # HASH completes everywhere.
+    assert all(row.cells["hash"].status == "ok" for row in rows)
+    # The verifiers hit the budget at the largest width (the paper's dash).
+    last = rows[-1]
+    assert last.cells["sis"].status == "timeout"
+    assert last.cells["smv"].status == "timeout"
+    # At the smallest width HASH is not the fastest method (higher base cost).
+    first = rows[0]
+    assert first.cells["hash"].seconds >= min(
+        first.cells["sis"].seconds, first.cells["smv"].seconds
+    )
+    # Verifier run time grows super-linearly between the widths they solve.
+    solved = [row for row in rows if row.cells["smv"].status == "ok"]
+    if len(solved) >= 3:
+        first_ok, last_ok = solved[0], solved[-1]
+        n0 = first_ok.workload.original.width(first_ok.workload.original.outputs[0])
+        n1 = last_ok.workload.original.width(last_ok.workload.original.outputs[0])
+        growth = last_ok.cells["smv"].seconds / max(first_ok.cells["smv"].seconds, 1e-6)
+        assert growth > (n1 / n0), "SMV growth should be super-linear in the bit width"

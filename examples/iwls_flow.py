@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""A Table-II style run on the IWLS'91 stand-in suite.
+
+Builds (a scaled-down version of) the synthetic IWLS'91 benchmarks, retimes
+each one along its maximal forward cut, runs the HASH formal step and the
+post-synthesis verifiers, and prints the resulting table — the same code path
+as ``python -m repro.eval.table2`` but sized so it finishes in a couple of
+minutes on a laptop.
+
+Run:  python examples/iwls_flow.py [--scale 0.15] [--budget 20]
+"""
+
+import argparse
+
+from repro.eval import table2
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", type=float, default=0.15,
+                        help="scale factor on the published circuit sizes")
+    parser.add_argument("--budget", type=float, default=20.0,
+                        help="per-verifier wall-clock budget (seconds)")
+    parser.add_argument("--names", nargs="*", default=None,
+                        help="subset of benchmarks (default: all ten)")
+    args = parser.parse_args()
+
+    rows = table2.run_table2(scale=args.scale, names=args.names,
+                             time_budget=args.budget)
+    print(table2.render(rows))
+    print("\nNote: circuits are synthetic stand-ins with the published "
+          "flip-flop/gate counts (scaled by "
+          f"{args.scale}); see DESIGN.md §5.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

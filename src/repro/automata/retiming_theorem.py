@@ -1,0 +1,161 @@
+"""The universal retiming theorem of the Automata theory.
+
+This is the single logical fact the formal retiming procedure instantiates
+(Section IV.A of the paper, ``_RETIMING_THM``).  With
+
+* ``f : 's -> 't``   — the combinational block the registers are moved over,
+* ``g : ('i # 't) -> ('o # 's)`` — the remaining combinational part, and
+* ``q : 's``          — the original initial state,
+
+the theorem states that the original circuit
+
+    ``automaton ((\\p. g (FST p, f (SND p))), q)``
+
+is equal (as a stream function) to the retimed circuit
+
+    ``automaton ((\\p. let r = g p in (FST r, f (SND r))), f q)``
+
+i.e. the compound register now sits *after* ``f`` and is initialised with
+``f q`` — "the initial state of the new compound register becomes f(q)".
+
+Being universally valid in ``f``, ``g`` and ``q`` (they are free variables of
+the stored theorem), a single instantiation per synthesis step is all HASH
+needs; the paper notes the HOL proof "is tedious and cannot be automated
+(induction over time etc.)  However it has only to be proved once and for
+all".  In this reproduction the theorem is introduced as an axiom of the
+Automata theory (recorded in the trusted base) and its once-and-for-all
+justification is carried by :mod:`repro.automata.semantics`
+(:func:`~repro.automata.semantics.check_retiming_law` and
+:func:`~repro.automata.semantics.prove_retiming_law_by_induction`), which the
+test suite runs over exhaustive small instances and long random streams.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..logic.hol_types import HolType, TyVar, mk_fun_ty, mk_prod_ty
+from ..logic.kernel import INST, INST_TYPE, Theorem, current_theory, new_axiom
+from ..logic.stdlib import ensure_stdlib, mk_let
+from ..logic.terms import (
+    Abs,
+    Comb,
+    Term,
+    Var,
+    mk_eq,
+    mk_fst,
+    mk_pair,
+    mk_snd,
+)
+from ..logic.theory import Theory
+from .automaton import ensure_automata_theory, mk_automaton
+
+#: Type variables of the generic theorem.
+TY_INPUT = TyVar("i")
+TY_STATE = TyVar("s")
+TY_NEW_STATE = TyVar("t")
+TY_OUTPUT = TyVar("o")
+
+_cache: Dict[int, Theorem] = {}
+
+
+def generic_variables() -> Tuple[Var, Var, Var]:
+    """The free variables ``f``, ``g`` and ``q`` of the stored theorem."""
+    f = Var("f", mk_fun_ty(TY_STATE, TY_NEW_STATE))
+    g = Var("g", mk_fun_ty(mk_prod_ty(TY_INPUT, TY_NEW_STATE),
+                           mk_prod_ty(TY_OUTPUT, TY_STATE)))
+    q = Var("q", TY_STATE)
+    return f, g, q
+
+
+def original_pattern(f: Var, g: Var, q: Var) -> Term:
+    """``automaton ((\\p. g (FST p, f (SND p))), q)`` — the theorem's LHS."""
+    p = Var("p", mk_prod_ty(TY_INPUT, TY_STATE))
+    body = Comb(g, mk_pair(mk_fst(p), Comb(f, mk_snd(p))))
+    return mk_automaton(Abs(p, body), q)
+
+
+def retimed_pattern(f: Var, g: Var, q: Var) -> Term:
+    """``automaton ((\\p. let r = g p in (FST r, f (SND r))), f q)`` — the RHS."""
+    p = Var("p", mk_prod_ty(TY_INPUT, TY_NEW_STATE))
+    r = Var("r", mk_prod_ty(TY_OUTPUT, TY_STATE))
+    let_body = mk_pair(mk_fst(r), Comb(f, mk_snd(r)))
+    body = mk_let(r, Comb(g, p), let_body)
+    return mk_automaton(Abs(p, body), Comb(f, q))
+
+
+def retiming_theorem(theory: Optional[Theory] = None) -> Theorem:
+    """The universal retiming theorem ``|- original = retimed`` (cached per theory)."""
+    thy = theory or current_theory()
+    key = id(thy)
+    if key in _cache:
+        return _cache[key]
+    ensure_stdlib(thy)
+    ensure_automata_theory(thy)
+    f, g, q = generic_variables()
+    statement = mk_eq(original_pattern(f, g, q), retimed_pattern(f, g, q))
+    thm = new_axiom(statement, name="RETIMING_THM", theory=thy)
+    _cache[key] = thm
+    return thm
+
+
+def instantiate_retiming(
+    f_term: Term,
+    g_term: Term,
+    q_term: Term,
+    theory: Optional[Theory] = None,
+) -> Theorem:
+    """Instantiate the universal retiming theorem at concrete ``f``, ``g``, ``q``.
+
+    The concrete types are read off the supplied terms; the instantiation
+    goes through the kernel (``INST_TYPE`` then ``INST``), so an ill-typed
+    combination fails here — this is one of the points where a faulty
+    heuristic's cut makes the derivation raise instead of producing a bogus
+    theorem.
+    """
+    thm = retiming_theorem(theory)
+
+    f_ty = f_term.ty
+    g_ty = g_term.ty
+    if not (f_ty.is_fun() and g_ty.is_fun() and g_ty.domain.is_prod()
+            and g_ty.codomain.is_prod()):
+        raise TypeError(
+            "instantiate_retiming: f must be a function and g a function on pairs; "
+            f"got f : {f_ty}, g : {g_ty}"
+        )
+    state_ty = f_ty.domain
+    new_state_ty = f_ty.codomain
+    input_ty = g_ty.domain.fst_type
+    output_ty = g_ty.codomain.fst_type
+
+    if g_ty.domain.snd_type != new_state_ty:
+        raise TypeError(
+            "instantiate_retiming: g's state argument type "
+            f"{g_ty.domain.snd_type} does not match f's result type {new_state_ty}"
+        )
+    if g_ty.codomain.snd_type != state_ty:
+        raise TypeError(
+            "instantiate_retiming: g's next-state type "
+            f"{g_ty.codomain.snd_type} does not match f's argument type {state_ty}"
+        )
+    if q_term.ty != state_ty:
+        raise TypeError(
+            f"instantiate_retiming: q has type {q_term.ty}, expected {state_ty}"
+        )
+
+    type_inst = {
+        TY_INPUT: input_ty,
+        TY_STATE: state_ty,
+        TY_NEW_STATE: new_state_ty,
+        TY_OUTPUT: output_ty,
+    }
+    thm = INST_TYPE(type_inst, thm)
+    f_var, g_var, q_var = generic_variables()
+    from ..logic.terms import inst_type
+
+    env = {
+        inst_type(type_inst, f_var): f_term,
+        inst_type(type_inst, g_var): g_term,
+        inst_type(type_inst, q_var): q_term,
+    }
+    return INST(env, thm)  # type: ignore[arg-type]

@@ -1,0 +1,32 @@
+"""``repro.circuits`` — netlists, simulation, bit-blasting and generators."""
+
+from .cells import CellError, CellType, all_cell_types, cell_type, is_gate_level
+from .netlist import (
+    Cell,
+    Net,
+    Netlist,
+    NetlistError,
+    Register,
+    combinational_depth,
+    initial_state,
+)
+from .simulate import (
+    SimulationError,
+    Simulator,
+    Trace,
+    find_mismatch,
+    outputs_equal,
+    random_input_sequence,
+    simulate,
+)
+from .bitblast import BitblastError, BitblastResult, bit_name, bitblast
+from .structural import (
+    same_interface,
+    state_only_cells,
+    structural_signature,
+    support_of,
+    transitive_fanin_nets,
+)
+from . import generators
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,56 @@
+"""Small parametric sequential circuits used by unit and property tests."""
+
+from __future__ import annotations
+
+from ..netlist import Netlist
+
+
+def counter(n: int, enable: bool = True, name: str = None) -> Netlist:
+    """An n-bit up counter, optionally with an enable input.
+
+    With ``enable`` the counter increments only when the 1-bit input ``en``
+    is high; otherwise it increments every cycle.  The counter register only
+    feeds the incrementer, so it is forward-retimable.
+    """
+    nl = Netlist(name or f"counter_{n}bit")
+    nl.add_net("next", n)
+    nl.add_register("R", "next", "count", init=0, width=n)
+    nl.add_cell("inc", "INC", ["count"], "inc_out")
+    if enable:
+        nl.add_input("en", 1)
+        nl.add_cell("mux", "MUX", ["en", "inc_out", "count"], "next")
+    else:
+        nl.add_cell("buf", "BUF", ["inc_out"], "next")
+    nl.add_cell("outbuf", "BUF", ["count"], "y")
+    nl.add_output("y", n)
+    nl.validate()
+    return nl
+
+
+def shift_register(n_stages: int, width: int = 1, name: str = None) -> Netlist:
+    """A chain of ``n_stages`` registers (a pure pipeline)."""
+    nl = Netlist(name or f"shift_{n_stages}x{width}")
+    nl.add_input("din", width)
+    prev = "din"
+    for i in range(n_stages):
+        out = f"stage{i}"
+        nl.add_register(f"R{i}", prev, out, init=0, width=width)
+        prev = out
+    nl.add_cell("outbuf", "BUF", [prev], "dout")
+    nl.add_output("dout", width)
+    nl.validate()
+    return nl
+
+
+def gray_counter(n: int, name: str = None) -> Netlist:
+    """An n-bit counter whose output is Gray-coded (binary_count XOR shifted)."""
+    nl = Netlist(name or f"gray_{n}bit")
+    nl.add_net("next", n)
+    nl.add_register("R", "next", "count", init=0, width=n)
+    nl.add_cell("inc", "INC", ["count"], "next")
+    nl.add_cell("shr", "SHR1", ["count"], "half")
+    nl.add_cell("xor", "XOR", ["count", "half"], "gray")
+    nl.add_cell("outbuf", "BUF", ["gray"], "y")
+    nl.add_output("y", n)
+    nl.validate()
+    return nl

@@ -1,0 +1,73 @@
+"""Sequential (fractional) multipliers.
+
+Table II of the paper observes that three of the IWLS'91 benchmarks are
+"fractional multipliers with different bitwidths (8, 16 and 32)", and that
+they are the circuits on which the verification baselines blow up (factor
+~40-50 when the width doubles, no result at 32 bit) while HASH scales
+moderately (factor ~4).  Since the original netlists are not
+redistributable, we generate a parametric fractional multiplier with the
+same character:
+
+* two n-bit operand registers and an n-bit pipeline register,
+* an n-by-n truncated array multiplier in the combinational part (whose
+  upper output bits are the classic example of exponential BDD growth —
+  this is what defeats the BDD-based verifiers as ``n`` doubles), and
+* an output shifter producing the "fractional" (scaled-down) product.
+
+The pipeline register ``PIPE`` feeds only the output shifter, so the shifter
+is a legal forward-retiming block; the retiming engines move it and the
+verification baselines are then asked to prove the retimed circuit
+equivalent to the original.
+"""
+
+from __future__ import annotations
+
+from ..netlist import Netlist
+
+
+def fractional_multiplier(n: int, name: str = None) -> Netlist:
+    """A fractional multiplier of data width ``n``.
+
+    Interface:
+
+    * ``x`` (n bit): operand input,
+    * ``load`` (1 bit): when high, both operand registers are loaded from
+      ``x``; when low, the X operand register is updated with the scaled
+      product (the "fractional" feedback iteration);
+    * ``p`` (n bit): the scaled product.
+    """
+    if n < 2:
+        raise ValueError("fractional_multiplier: width must be >= 2")
+    nl = Netlist(name or f"fracmul_{n}bit")
+    nl.add_input("x", n)
+    nl.add_input("load", 1)
+
+    # registers
+    nl.add_net("xreg_next", n)
+    nl.add_net("yreg_next", n)
+    nl.add_net("pipe_next", n)
+    nl.add_register("XREG", "xreg_next", "xreg", init=0, width=n)
+    nl.add_register("YREG", "yreg_next", "yreg", init=0, width=n)
+    nl.add_register("PIPE", "pipe_next", "pipe", init=0, width=n)
+
+    # combinational part
+    nl.add_cell("mult", "MUL", ["xreg", "yreg"], "prod")
+    nl.add_cell("shifter", "SHR1", ["pipe"], "shifted")
+    nl.add_cell("xreg_mux", "MUX", ["load", "x", "shifted"], "xreg_next_val")
+    nl.add_cell("xreg_buf", "BUF", ["xreg_next_val"], "xreg_next")
+    nl.add_cell("yreg_mux", "MUX", ["load", "x", "yreg"], "yreg_next_val")
+    nl.add_cell("yreg_buf", "BUF", ["yreg_next_val"], "yreg_next")
+    nl.add_cell("pipe_buf", "BUF", ["prod"], "pipe_next")
+    nl.add_cell("outbuf", "BUF", ["shifted"], "p")
+    nl.add_output("p", n)
+    nl.validate()
+    return nl
+
+
+def multiplier_retiming_cut(netlist: Netlist = None):
+    """The forward-retiming cut used by the benchmarks: the output shifter.
+
+    The ``PIPE`` register feeds only the shifter, so moving it across the
+    shifter is a legal forward retiming (new initial value ``SHR1(0) = 0``).
+    """
+    return ["shifter"]

@@ -1,0 +1,163 @@
+"""Cycle-accurate simulation of netlists.
+
+The simulator evaluates the combinational cells in topological order once per
+clock cycle, samples the outputs and then updates all registers
+simultaneously (edge-triggered semantics).  It is the executable semantics
+against which every transformation in the library (conventional retiming,
+formal retiming, bit-blasting, state encoding) is tested: two circuits are
+*observationally equivalent* when they produce the same output streams for
+every input stream from their respective initial states.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .netlist import Netlist, NetlistError
+
+
+class SimulationError(Exception):
+    """Raised when an input vector is malformed."""
+
+
+@dataclass
+class Trace:
+    """Result of a multi-cycle simulation."""
+
+    inputs: List[Dict[str, int]]
+    outputs: List[Dict[str, int]]
+    states: List[Dict[str, int]]
+
+    def output_sequence(self, name: str) -> List[int]:
+        return [step[name] for step in self.outputs]
+
+
+class Simulator:
+    """A stateful cycle simulator for a :class:`Netlist`."""
+
+    def __init__(self, netlist: Netlist, state: Optional[Dict[str, int]] = None):
+        netlist.validate()
+        self.netlist = netlist
+        self._order = netlist.topological_cells()
+        self.state: Dict[str, int] = {
+            name: reg.init for name, reg in netlist.registers.items()
+        }
+        if state is not None:
+            for name, value in state.items():
+                if name not in self.state:
+                    raise SimulationError(f"unknown register {name}")
+                self.state[name] = value
+
+    # -- single cycle -----------------------------------------------------------
+    def evaluate_combinational(self, inputs: Dict[str, int]) -> Dict[str, int]:
+        """Evaluate all nets for one cycle without advancing the registers."""
+        values: Dict[str, int] = {}
+        for name in self.netlist.inputs:
+            if name not in inputs:
+                raise SimulationError(f"missing value for input {name}")
+            width = self.netlist.width(name)
+            value = inputs[name]
+            if not (0 <= value < (1 << width)):
+                raise SimulationError(
+                    f"input {name} value {value} does not fit width {width}"
+                )
+            values[name] = value
+        for reg_name, reg in self.netlist.registers.items():
+            values[reg.output] = self.state[reg_name]
+        for cell in self._order:
+            ins = [values[i] for i in cell.inputs]
+            width = self.netlist.width(cell.output)
+            params = dict(cell.params)
+            params["_in_widths"] = tuple(self.netlist.width(i) for i in cell.inputs)
+            values[cell.output] = cell.cell_type.evaluate(width, ins, params)
+        return values
+
+    def step(self, inputs: Dict[str, int]) -> Dict[str, int]:
+        """Advance one clock cycle; returns the sampled primary outputs."""
+        values = self.evaluate_combinational(inputs)
+        outputs = {name: values[name] for name in self.netlist.outputs}
+        next_state = {
+            name: values[reg.input] for name, reg in self.netlist.registers.items()
+        }
+        self.state = next_state
+        return outputs
+
+    # -- multi cycle -------------------------------------------------------------
+    def run(self, input_sequence: Sequence[Dict[str, int]]) -> Trace:
+        """Simulate a sequence of input vectors from the current state."""
+        inputs_log: List[Dict[str, int]] = []
+        outputs_log: List[Dict[str, int]] = []
+        states_log: List[Dict[str, int]] = []
+        for vec in input_sequence:
+            states_log.append(dict(self.state))
+            out = self.step(vec)
+            inputs_log.append(dict(vec))
+            outputs_log.append(out)
+        return Trace(inputs_log, outputs_log, states_log)
+
+
+def random_input_sequence(
+    netlist: Netlist, cycles: int, seed: int = 0
+) -> List[Dict[str, int]]:
+    """A reproducible random input sequence for a netlist."""
+    rng = random.Random(seed)
+    seq = []
+    for _ in range(cycles):
+        vec = {}
+        for name in netlist.inputs:
+            width = netlist.width(name)
+            vec[name] = rng.randrange(1 << width)
+        seq.append(vec)
+    return seq
+
+
+def simulate(
+    netlist: Netlist,
+    input_sequence: Sequence[Dict[str, int]],
+    state: Optional[Dict[str, int]] = None,
+) -> Trace:
+    """Convenience wrapper: simulate from the initial (or given) state."""
+    return Simulator(netlist, state).run(input_sequence)
+
+
+def outputs_equal(
+    a: Netlist,
+    b: Netlist,
+    cycles: int = 64,
+    seed: int = 0,
+    input_map: Optional[Dict[str, str]] = None,
+) -> bool:
+    """Simulation-based equivalence check on random stimuli.
+
+    Both netlists must have the same primary inputs and outputs (possibly
+    renamed through ``input_map`` which maps nets of ``a`` to nets of ``b``).
+    This is the "validation by simulation" baseline of Section II of the
+    paper — it can find mismatches but never proves equivalence.
+    """
+    seq = random_input_sequence(a, cycles, seed)
+    trace_a = simulate(a, seq)
+    mapped_seq = []
+    for vec in seq:
+        mapped_seq.append({(input_map or {}).get(k, k): v for k, v in vec.items()})
+    trace_b = simulate(b, mapped_seq)
+    for step_a, step_b in zip(trace_a.outputs, trace_b.outputs):
+        for name, value in step_a.items():
+            b_name = (input_map or {}).get(name, name)
+            if step_b.get(b_name) != value:
+                return False
+    return True
+
+
+def find_mismatch(
+    a: Netlist, b: Netlist, cycles: int = 256, seed: int = 0
+) -> Optional[int]:
+    """Return the first cycle where the outputs of ``a`` and ``b`` differ."""
+    seq = random_input_sequence(a, cycles, seed)
+    trace_a = simulate(a, seq)
+    trace_b = simulate(b, seq)
+    for t, (step_a, step_b) in enumerate(zip(trace_a.outputs, trace_b.outputs)):
+        if step_a != step_b:
+            return t
+    return None

@@ -1,0 +1,23 @@
+"""``repro.eval`` — regeneration of the paper's tables, figures and ablations."""
+
+from .workloads import (
+    TABLE1_WIDTHS,
+    TABLE1_WIDTHS_QUICK,
+    Workload,
+    make_workload,
+    table1_workload,
+    table2_workloads,
+)
+from .runner import (
+    DEFAULT_NODE_BUDGET,
+    DEFAULT_TIME_BUDGET,
+    Measurement,
+    Row,
+    render_table,
+    run_hash,
+    run_row,
+    run_verifier,
+)
+from . import ablations, table1, table2
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,174 @@
+"""Measurement runner shared by all table/figure harnesses.
+
+Runs each verification method (and the HASH formal step) on a
+:class:`~repro.eval.workloads.Workload` under a wall-clock budget and
+collects a :class:`Measurement` per cell of the paper's tables.  Timeouts
+and budget overruns are reported as the paper's dash ("could not be
+processed in reasonable time").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..formal.formal_retiming import FormalSynthesisError, formal_forward_retiming
+from ..verification import fsm_compare, model_checking, retiming_verify, van_eijk
+from ..verification.common import VerificationResult
+from .workloads import Workload
+
+
+@dataclass
+class Measurement:
+    """One cell of a results table."""
+
+    workload: str
+    method: str
+    status: str           # "ok" | "timeout" | "failed"
+    seconds: float
+    detail: str = ""
+
+    def render(self, precision: int = 2) -> str:
+        if self.status == "ok":
+            return f"{self.seconds:.{precision}f}"
+        if self.status == "timeout":
+            return "-"
+        return "?"
+
+
+#: default per-cell wall-clock budget (seconds)
+DEFAULT_TIME_BUDGET = 60.0
+#: default BDD node budget per cell
+DEFAULT_NODE_BUDGET = 2_000_000
+
+
+def run_hash(workload: Workload) -> Measurement:
+    """Time the HASH formal retiming step on the workload's cut."""
+    start = time.perf_counter()
+    try:
+        result = formal_forward_retiming(
+            workload.original, workload.cut, cross_check=False
+        )
+        seconds = time.perf_counter() - start
+        return Measurement(
+            workload=workload.name,
+            method="hash",
+            status="ok",
+            seconds=seconds,
+            detail=f"{int(result.stats['inference_steps'])} kernel inferences",
+        )
+    except FormalSynthesisError as exc:
+        return Measurement(
+            workload=workload.name,
+            method="hash",
+            status="failed",
+            seconds=time.perf_counter() - start,
+            detail=str(exc),
+        )
+
+
+def _verifier(method: str) -> Callable[..., VerificationResult]:
+    if method == "smv":
+        return model_checking.check_equivalence
+    if method == "sis":
+        return fsm_compare.check_equivalence
+    if method == "eijk":
+        return van_eijk.check_equivalence
+    if method == "eijk+":
+        return lambda a, b, **kw: van_eijk.check_equivalence(
+            a, b, exploit_dependencies=True, **kw
+        )
+    if method == "match":
+        return lambda a, b, **kw: retiming_verify.check_equivalence(
+            a, b, time_budget=kw.get("time_budget")
+        )
+    raise ValueError(f"unknown verification method {method!r}")
+
+
+def run_verifier(
+    workload: Workload,
+    method: str,
+    time_budget: float = DEFAULT_TIME_BUDGET,
+    node_budget: int = DEFAULT_NODE_BUDGET,
+) -> Measurement:
+    """Time one post-synthesis verification method on (original, retimed)."""
+    checker = _verifier(method)
+    kwargs = {"time_budget": time_budget}
+    if method in ("smv", "sis", "eijk", "eijk+"):
+        kwargs["node_budget"] = node_budget
+    start = time.perf_counter()
+    result = checker(workload.original, workload.retimed, **kwargs)
+    seconds = time.perf_counter() - start
+    if result.status == "equivalent":
+        status = "ok"
+    elif result.status == "timeout":
+        status = "timeout"
+    else:
+        status = "failed"
+    return Measurement(
+        workload=workload.name,
+        method=method,
+        status=status,
+        seconds=seconds,
+        detail=result.detail,
+    )
+
+
+@dataclass
+class Row:
+    """One row of a results table: a workload plus its per-method measurements."""
+
+    workload: Workload
+    cells: Dict[str, Measurement] = field(default_factory=dict)
+
+    def cell(self, method: str) -> Measurement:
+        return self.cells[method]
+
+
+def run_row(
+    workload: Workload,
+    methods: Sequence[str],
+    time_budget: float = DEFAULT_TIME_BUDGET,
+    node_budget: int = DEFAULT_NODE_BUDGET,
+) -> Row:
+    """Measure every requested method on one workload."""
+    row = Row(workload=workload)
+    for method in methods:
+        if method == "hash":
+            row.cells[method] = run_hash(workload)
+        else:
+            row.cells[method] = run_verifier(
+                workload, method, time_budget=time_budget, node_budget=node_budget
+            )
+    return row
+
+
+def render_table(
+    rows: Sequence[Row],
+    methods: Sequence[str],
+    title: str,
+    extra_columns: Optional[Dict[str, Callable[[Workload], object]]] = None,
+) -> str:
+    """Render measurement rows as a fixed-width text table (paper style)."""
+    extra_columns = extra_columns or {
+        "flipflops": lambda w: w.flipflops,
+        "gates": lambda w: w.gates,
+    }
+    headers = ["circuit"] + list(extra_columns) + [m.upper() for m in methods]
+    table: List[List[str]] = [headers]
+    for row in rows:
+        cells = [row.workload.name]
+        cells += [str(fn(row.workload)) for fn in extra_columns.values()]
+        cells += [row.cells[m].render() for m in methods]
+        table.append(cells)
+    widths = [max(len(r[i]) for r in table) for i in range(len(headers))]
+    lines = [title, "=" * len(title)]
+    for i, r in enumerate(table):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    lines.append("")
+    lines.append("times in seconds; '-' = budget exceeded "
+                 "(the paper's 'not processable in reasonable time')")
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Table I — the scalable Figure-2 example.
+
+The paper compares SIS (FSM comparison), SMV (symbolic model checking) and
+HASH on the n-bit example of Figure 2 for growing n, retimed with the maximal
+forward cut.  The published shape:
+
+* both BDD-based verifiers blow up exponentially with n and eventually cannot
+  finish "in reasonable time" (dashes),
+* HASH has a higher base cost (it is slower for tiny n) but its run time
+  grows moderately with the circuit size and it handles every width.
+
+Run ``python -m repro.eval.table1`` to regenerate the table; the benchmark
+``benchmarks/test_table1.py`` drives the same code under pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from .runner import DEFAULT_NODE_BUDGET, Row, render_table, run_row
+from .workloads import TABLE1_WIDTHS, TABLE1_WIDTHS_QUICK, table1_workload
+
+#: The methods of Table I, in the paper's column order.
+TABLE1_METHODS = ["sis", "smv", "hash"]
+
+
+def run_table1(
+    widths: Optional[Sequence[int]] = None,
+    methods: Optional[Sequence[str]] = None,
+    time_budget: float = 30.0,
+    node_budget: int = DEFAULT_NODE_BUDGET,
+    skip_hopeless: bool = True,
+) -> List[Row]:
+    """Measure Table I.
+
+    ``skip_hopeless`` stops calling a verifier on larger widths once it has
+    timed out twice in a row (exactly how one would run the original tools);
+    the skipped cells are reported as timeouts.
+    """
+    widths = list(widths if widths is not None else TABLE1_WIDTHS)
+    methods = list(methods if methods is not None else TABLE1_METHODS)
+    rows: List[Row] = []
+    consecutive_timeouts = {m: 0 for m in methods}
+    for n in widths:
+        workload = table1_workload(n)
+        row = Row(workload=workload)
+        for method in methods:
+            if skip_hopeless and method != "hash" and consecutive_timeouts[method] >= 2:
+                from .runner import Measurement
+
+                row.cells[method] = Measurement(
+                    workload=workload.name, method=method, status="timeout",
+                    seconds=time_budget, detail="skipped after repeated timeouts",
+                )
+                continue
+            measured = run_row(workload, [method], time_budget=time_budget,
+                               node_budget=node_budget).cells[method]
+            row.cells[method] = measured
+            if method != "hash":
+                if measured.status == "timeout":
+                    consecutive_timeouts[method] += 1
+                else:
+                    consecutive_timeouts[method] = 0
+        rows.append(row)
+    return rows
+
+
+def render(rows: Sequence[Row], methods: Optional[Sequence[str]] = None) -> str:
+    methods = list(methods if methods is not None else TABLE1_METHODS)
+    return render_table(
+        rows,
+        methods,
+        title="Table I — retiming the Figure-2 example (n-bit)",
+        extra_columns={
+            "n": lambda w: w.original.width(w.original.outputs[0]),
+            "flipflops": lambda w: w.flipflops,
+            "gates": lambda w: w.gates,
+        },
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="use the short width sweep and a small budget")
+    parser.add_argument("--budget", type=float, default=30.0,
+                        help="per-cell wall-clock budget in seconds")
+    parser.add_argument("--widths", type=int, nargs="*", default=None)
+    args = parser.parse_args(argv)
+    widths = args.widths or (TABLE1_WIDTHS_QUICK if args.quick else TABLE1_WIDTHS)
+    budget = min(args.budget, 10.0) if args.quick else args.budget
+    rows = run_table1(widths=widths, time_budget=budget)
+    print(render(rows))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

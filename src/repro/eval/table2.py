@@ -1,0 +1,74 @@
+"""Table II — the IWLS'91 benchmark suite (synthetic stand-ins).
+
+The paper compares van Eijk's checker (plain and with functional-dependency
+exploitation), SIS and HASH on ten IWLS'91 sequential benchmarks, retimed
+with the maximal forward cut.  The published shape:
+
+* the reachability-based tools (SIS) and the plain van Eijk checker handle
+  the small control circuits but blow up (or give up) on the large ones,
+* the three fractional-multiplier benchmarks (8/16/32 bit) are the hardest:
+  the verifiers' run time explodes by a factor of ~40-50 when the width
+  doubles and the 32-bit instance is out of reach, while HASH grows by only a
+  small factor and still completes,
+* HASH is never the fastest on the easy circuits (its base cost is higher)
+  but is the only method that finishes everywhere.
+
+Run ``python -m repro.eval.table2``; ``--scale`` shrinks the circuits for a
+quick run.  DESIGN.md §5 documents the benchmark substitution.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from .runner import DEFAULT_NODE_BUDGET, Row, render_table, run_row
+from .workloads import table2_workloads
+
+#: The methods of Table II, in the paper's column order.
+TABLE2_METHODS = ["eijk", "eijk+", "sis", "hash"]
+
+
+def run_table2(
+    scale: float = 1.0,
+    names: Optional[Sequence[str]] = None,
+    methods: Optional[Sequence[str]] = None,
+    time_budget: float = 60.0,
+    node_budget: int = DEFAULT_NODE_BUDGET,
+) -> List[Row]:
+    """Measure Table II (optionally on a scaled-down suite)."""
+    methods = list(methods if methods is not None else TABLE2_METHODS)
+    rows: List[Row] = []
+    for workload in table2_workloads(scale=scale, names=names):
+        rows.append(
+            run_row(workload, methods, time_budget=time_budget,
+                    node_budget=node_budget)
+        )
+    return rows
+
+
+def render(rows: Sequence[Row], methods: Optional[Sequence[str]] = None) -> str:
+    methods = list(methods if methods is not None else TABLE2_METHODS)
+    return render_table(
+        rows,
+        methods,
+        title="Table II — IWLS'91 benchmark stand-ins",
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="scale factor on flip-flop / gate counts")
+    parser.add_argument("--budget", type=float, default=60.0,
+                        help="per-cell wall-clock budget in seconds")
+    parser.add_argument("--names", nargs="*", default=None,
+                        help="restrict to the named benchmarks")
+    args = parser.parse_args(argv)
+    rows = run_table2(scale=args.scale, names=args.names, time_budget=args.budget)
+    print(render(rows))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""``repro.formal`` — the HASH formal synthesis core.
+
+This package is the paper's primary contribution: synthesis steps performed
+as logical derivations.
+
+* :mod:`repro.formal.embed` — netlists as Automata-theory terms;
+* :mod:`repro.formal.formal_retiming` — the four-step formal retiming
+  procedure producing ``|- automaton(original) = automaton(retimed)``;
+* :mod:`repro.formal.hash_core` — the step abstraction and transitivity
+  composition of compound synthesis flows;
+* :mod:`repro.formal.certificates` — auditing of proofs and the trusted base.
+"""
+
+from .embed import EmbeddedCircuit, EmbeddingError, embed_netlist, cell_term
+from .formal_retiming import (
+    CutAnalysis,
+    FormalRetimingResult,
+    FormalSynthesisError,
+    analyse_cut,
+    build_f_term,
+    build_g_term,
+    formal_forward_retiming,
+)
+from .hash_core import (
+    FormalStep,
+    bridge_retiming_result,
+    bridge_to_netlist_step,
+    compose,
+    compound_retiming_flow,
+    retimed_register_order,
+    retiming_step,
+    tidy_step,
+)
+from .certificates import SynthesisCertificate, axioms_used, certificate_for, rule_histogram
+
+__all__ = [name for name in dir() if not name.startswith("_")]

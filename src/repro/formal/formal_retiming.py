@@ -1,0 +1,398 @@
+"""The HASH formal retiming procedure (Section IV of the paper).
+
+Given a netlist and a *cut* (the set of combinational cells forming the block
+``f`` the registers are moved over), the procedure performs the four steps of
+Section IV.A, every one of them as a kernel-checked derivation:
+
+1. **Split** the combinational part into ``f`` and ``g``: the original step
+   function (a flat ``let`` chain produced by :mod:`repro.formal.embed`) is
+   proved equal to ``\\p. g (FST p, f (SND p))`` with concrete ``f`` and ``g``
+   terms constructed from the cut.  The equation is established by
+   normalising both sides with beta/``let``/projection conversions and
+   linking the identical normal forms — if the cut is bad the normal forms
+   differ (or ``f``/``g`` cannot even be built) and the derivation *fails*;
+   no theorem is produced (Section IV.C, Figure 4).
+2. **Apply the universal retiming theorem**: the stored theorem is
+   instantiated with ``f``, ``g`` and the initial state ``q`` through the
+   kernel and chained on with transitivity.
+3. **Join** ``f`` and ``g`` again: the right-hand side is tidied by
+   beta/projection conversions into a single combinational ``let`` chain.
+4. **Evaluate the new initial state** ``f(q)`` with the evaluation
+   conversion, yielding a ground initial-value tuple.
+
+The result is a theorem ``|- automaton(original) = automaton(retimed)``
+together with the retimed description and, for cross-validation, the netlist
+produced by the *conventional* retiming engine on the same cut.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..automata.automaton import TupleLayout
+from ..automata.retiming_theorem import instantiate_retiming
+from ..circuits.netlist import Netlist
+from ..logic import conv
+from ..logic.conv import ConvError
+from ..logic.ground import value_of_term
+from ..logic.kernel import (
+    AP_TERM,
+    KernelError,
+    MK_COMB,
+    REFL,
+    TRANS,
+    Theorem,
+    inference_steps,
+    proof_size,
+)
+from ..logic.rules import RuleError, equal_by_normalisation
+from ..logic.stdlib import dest_let, is_let
+from ..logic.terms import Abs, Comb, Term, TermError, Var, mk_fst, mk_pair, mk_snd
+from ..retiming.apply import RetimingApplyError, apply_forward_retiming
+from .embed import EmbeddedCircuit, EmbeddingError, cell_term, embed_netlist, net_type
+
+
+class FormalSynthesisError(Exception):
+    """Raised when a formal synthesis step cannot be derived.
+
+    This is the behaviour the paper requires from faulty heuristics: the
+    derivation raises, it never produces an incorrect theorem.
+    """
+
+
+@dataclass
+class CutAnalysis:
+    """Everything derived from a cut before any logic is built."""
+
+    cut_cells: List[str]
+    #: registers whose value g still needs directly (pass-through components)
+    pass_registers: List[str]
+    #: layout of the new compound register (the type ``τ`` of ``f``'s result)
+    tau_layout: TupleLayout
+    #: τ component name for each cut cell's output net
+    cut_component: Dict[str, str]
+    #: τ component name for each pass-through register
+    reg_component: Dict[str, str]
+
+
+@dataclass
+class FormalRetimingResult:
+    """Outcome of one formal forward-retiming step."""
+
+    theorem: Theorem
+    original: EmbeddedCircuit
+    #: the derived output description ``automaton (step', q')``
+    retimed_term: Term
+    #: the same transformation performed by the conventional engine
+    retimed_netlist: Netlist
+    cut: List[str]
+    f_term: Term
+    g_term: Term
+    #: the evaluated new initial state (a Python ground value)
+    new_init_value: Any
+    stats: Dict[str, float] = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# Cut analysis and construction of f / g
+# ---------------------------------------------------------------------------
+
+def analyse_cut(netlist: Netlist, cut: Sequence[str],
+                embedded: EmbeddedCircuit) -> CutAnalysis:
+    """Check the cut and derive the new compound-register layout ``τ``."""
+    cut = list(dict.fromkeys(cut))
+    if not cut:
+        raise FormalSynthesisError("the cut is empty; nothing to retime over")
+    reg_by_output = {r.output: name for name, r in netlist.registers.items()}
+
+    for cell_name in cut:
+        if cell_name not in netlist.cells:
+            raise FormalSynthesisError(f"cut refers to unknown cell {cell_name!r}")
+        cell = netlist.cells[cell_name]
+        if not cell.inputs:
+            raise FormalSynthesisError(
+                f"cell {cell_name} has no inputs; constants cannot be retimed over"
+            )
+        for net in cell.inputs:
+            if net not in reg_by_output:
+                raise FormalSynthesisError(
+                    f"false cut: input {net!r} of cell {cell_name!r} is not a register "
+                    "output, so f would not be a function of the state alone "
+                    "(this is the Figure-4 situation; the derivation is aborted)"
+                )
+
+    cut_set = set(cut)
+    # registers that g still needs: read by a non-cut cell, by a register, or
+    # exported as a primary output
+    pass_registers: List[str] = []
+    for reg_name in embedded.register_order:
+        reg = netlist.registers[reg_name]
+        needed = reg.output in netlist.outputs
+        for cell in netlist.cells.values():
+            if cell.name in cut_set:
+                continue
+            if reg.output in cell.inputs:
+                needed = True
+                break
+        if not needed:
+            for other in netlist.registers.values():
+                if other.input == reg.output:
+                    needed = True
+                    break
+        if needed:
+            pass_registers.append(reg_name)
+
+    names: List[str] = []
+    types = []
+    cut_component: Dict[str, str] = {}
+    reg_component: Dict[str, str] = {}
+    for cell_name in cut:
+        cell = netlist.cells[cell_name]
+        comp = f"cut::{cell.output}"
+        names.append(comp)
+        types.append(net_type(netlist.width(cell.output)))
+        cut_component[cell.output] = comp
+    for reg_name in pass_registers:
+        comp = f"reg::{reg_name}"
+        names.append(comp)
+        types.append(net_type(netlist.registers[reg_name].width))
+        reg_component[reg_name] = comp
+
+    tau_layout = TupleLayout(names, types)
+    return CutAnalysis(
+        cut_cells=cut,
+        pass_registers=pass_registers,
+        tau_layout=tau_layout,
+        cut_component=cut_component,
+        reg_component=reg_component,
+    )
+
+
+def build_f_term(netlist: Netlist, embedded: EmbeddedCircuit,
+                 analysis: CutAnalysis, var_name: str = "s") -> Term:
+    """``f : σ -> τ`` — the block the registers are moved over."""
+    s = Var(var_name, embedded.state_layout.type())
+    reg_by_output = {r.output: name for name, r in netlist.registers.items()}
+    components: List[Term] = []
+    for comp_name in analysis.tau_layout.names:
+        if comp_name.startswith("cut::"):
+            net = comp_name[len("cut::"):]
+            cell = next(c for c in netlist.cells.values() if c.output == net)
+            in_terms = [
+                embedded.state_layout.project(s, reg_by_output[i]) for i in cell.inputs
+            ]
+            components.append(cell_term(netlist, cell, in_terms))
+        else:
+            reg_name = comp_name[len("reg::"):]
+            components.append(embedded.state_layout.project(s, reg_name))
+    return Abs(s, analysis.tau_layout.mk_value(components))
+
+
+def build_g_term(netlist: Netlist, embedded: EmbeddedCircuit,
+                 analysis: CutAnalysis, var_name: str = "q_in") -> Term:
+    """``g : (ι # τ) -> (ω # σ)`` — the remaining combinational part."""
+    from ..logic.hol_types import mk_prod_ty
+    from ..logic.stdlib import mk_let
+
+    q2 = Var(var_name, mk_prod_ty(embedded.input_layout.type(),
+                                  analysis.tau_layout.type()))
+    input_base = mk_fst(q2)
+    tau_base = mk_snd(q2)
+
+    available: Dict[str, Term] = {}
+    for name in netlist.inputs:
+        available[name] = embedded.input_layout.project(input_base, name)
+    for reg_name in embedded.register_order:
+        reg = netlist.registers[reg_name]
+        if reg_name in analysis.reg_component:
+            available[reg.output] = analysis.tau_layout.project(
+                tau_base, analysis.reg_component[reg_name]
+            )
+    for net, comp in analysis.cut_component.items():
+        available[net] = analysis.tau_layout.project(tau_base, comp)
+
+    cut_set = set(analysis.cut_cells)
+    bindings: List[Tuple[Var, Term]] = []
+    for cell in netlist.topological_cells():
+        if cell.name in cut_set:
+            continue
+        try:
+            in_terms = [available[i] for i in cell.inputs]
+        except KeyError as exc:
+            raise FormalSynthesisError(
+                f"cell {cell.name} reads net {exc.args[0]!r} which is neither an "
+                "input, a passed-through register nor a cut output — the cut does "
+                "not induce a well-formed split"
+            ) from None
+        term = cell_term(netlist, cell, in_terms)
+        if cell.type in ("BUF", "CONST"):
+            available[cell.output] = term
+            continue
+        var = Var(cell.output, net_type(netlist.width(cell.output)))
+        bindings.append((var, term))
+        available[cell.output] = var
+
+    try:
+        out_tuple = embedded.output_layout.mk_value(
+            [available[o] for o in netlist.outputs]
+        )
+        next_tuple = embedded.state_layout.mk_value(
+            [available[netlist.registers[r].input] for r in embedded.register_order]
+        )
+    except KeyError as exc:
+        raise FormalSynthesisError(
+            f"signal {exc.args[0]!r} needed for an output or a next-state value is "
+            "not computable by g under this cut"
+        ) from None
+    body: Term = mk_pair(out_tuple, next_tuple)
+    for var, term in reversed(bindings):
+        body = mk_let(var, term, body)
+    return Abs(q2, body)
+
+
+# ---------------------------------------------------------------------------
+# Conversions used by the split / join steps
+# ---------------------------------------------------------------------------
+
+def unfold_named_lets_conv(names: Sequence[str]):
+    """A conversion unfolding exactly the ``let`` bindings of the given variables."""
+    name_set = set(names)
+
+    def single(t: Term) -> Theorem:
+        if is_let(t):
+            var, _value, _body = dest_let(t)
+            if var.name in name_set:
+                return conv.LET_CONV(t)
+        raise ConvError("not a targeted let binding")
+
+    return conv.TOP_DEPTH_CONV(single)
+
+
+#: beta + pair-projection normalisation that leaves ``LET`` bindings intact
+reduce_split_conv = conv.TOP_DEPTH_CONV(
+    conv.ORELSEC(conv.BETA_CONV, conv.FST_CONV, conv.SND_CONV)
+)
+
+
+# ---------------------------------------------------------------------------
+# The four-step procedure
+# ---------------------------------------------------------------------------
+
+def _congruence_on_automaton(embedded: EmbeddedCircuit, step_eq: Theorem) -> Theorem:
+    """From ``|- step = step'`` derive ``|- automaton(step, q) = automaton(step', q)``."""
+    automaton_const = embedded.term.rator
+    pair_term = embedded.term.rand
+    comma_const = pair_term.rator.rator
+    pair_eq = MK_COMB(MK_COMB(REFL(comma_const), step_eq), REFL(embedded.init))
+    return AP_TERM(automaton_const, pair_eq)
+
+
+def formal_forward_retiming(
+    netlist: Netlist,
+    cut: Sequence[str],
+    embedded: Optional[EmbeddedCircuit] = None,
+    cross_check: bool = True,
+) -> FormalRetimingResult:
+    """Run the full four-step HASH retiming procedure on a netlist and a cut.
+
+    Raises :class:`FormalSynthesisError` (and never returns a theorem) when
+    the cut cannot be realised — the faulty-heuristic behaviour of
+    Section IV.C.
+    """
+    stats: Dict[str, float] = {}
+    steps_before = inference_steps()
+    t_total = time.perf_counter()
+
+    # Step 0: the input circuit description (a logic term).
+    t0 = time.perf_counter()
+    embedded = embedded or embed_netlist(netlist)
+    stats["embed_seconds"] = time.perf_counter() - t0
+
+    # Step 1: split the combinational part into f and g.
+    t1 = time.perf_counter()
+    analysis = analyse_cut(netlist, cut, embedded)
+    f_term = build_f_term(netlist, embedded, analysis)
+    g_term = build_g_term(netlist, embedded, analysis)
+
+    p = Var("p", embedded.step.bvar.ty)
+    split_term = Abs(
+        p, Comb(g_term, mk_pair(mk_fst(p), Comb(f_term, mk_snd(p))))
+    )
+    cut_nets = [netlist.cells[c].output for c in analysis.cut_cells]
+    try:
+        lhs_norm = unfold_named_lets_conv(cut_nets)(embedded.step)
+        rhs_norm = reduce_split_conv(split_term)
+        step_eq = equal_by_normalisation(lhs_norm, rhs_norm)
+    except (RuleError, ConvError, KernelError, TermError) as exc:
+        raise FormalSynthesisError(
+            f"splitting the combinational part failed for cut {list(cut)!r}: {exc}"
+        ) from exc
+    th_split = _congruence_on_automaton(embedded, step_eq)
+    stats["split_seconds"] = time.perf_counter() - t1
+
+    # Step 2: apply the universal retiming theorem.
+    t2 = time.perf_counter()
+    try:
+        th_retime = instantiate_retiming(f_term, g_term, embedded.init)
+        theorem = TRANS(th_split, th_retime)
+    except (KernelError, TypeError, TermError) as exc:
+        raise FormalSynthesisError(
+            f"instantiating the retiming theorem failed: {exc}"
+        ) from exc
+    stats["apply_theorem_seconds"] = time.perf_counter() - t2
+
+    # Step 3: join f and g into a single combinational part.
+    t3 = time.perf_counter()
+    join_conv = conv.RAND_CONV(conv.RATOR_CONV(conv.RAND_CONV(reduce_split_conv)))
+    try:
+        theorem = conv.RHS_CONV_RULE(join_conv, theorem)
+    except (ConvError, KernelError) as exc:
+        raise FormalSynthesisError(f"joining the combinational part failed: {exc}") from exc
+    stats["join_seconds"] = time.perf_counter() - t3
+
+    # Step 4: evaluate the new initial state f(q).
+    t4 = time.perf_counter()
+    init_conv = conv.RAND_CONV(conv.RAND_CONV(conv.EVAL_CONV))
+    try:
+        theorem = conv.RHS_CONV_RULE(init_conv, theorem)
+    except (ConvError, KernelError) as exc:
+        raise FormalSynthesisError(
+            f"evaluating the retimed initial state failed: {exc}"
+        ) from exc
+    stats["init_eval_seconds"] = time.perf_counter() - t4
+
+    retimed_term = theorem.rhs
+    new_init_term = retimed_term.rand.rand
+    try:
+        new_init_value = value_of_term(new_init_term)
+    except Exception:  # pragma: no cover - the init is ground by construction
+        new_init_value = None
+
+    # Cross-check artifact: the conventional engine's output on the same cut.
+    retimed_netlist = netlist
+    if cross_check:
+        try:
+            retimed_netlist = apply_forward_retiming(netlist, cut)
+        except RetimingApplyError as exc:
+            raise FormalSynthesisError(
+                f"conventional engine rejects the cut as well: {exc}"
+            ) from exc
+    stats["total_seconds"] = time.perf_counter() - t_total
+    stats["inference_steps"] = float(inference_steps() - steps_before)
+    stats["proof_size"] = float(proof_size(theorem))
+    stats["original_term_size"] = float(embedded.term.size())
+    stats["retimed_term_size"] = float(retimed_term.size())
+
+    return FormalRetimingResult(
+        theorem=theorem,
+        original=embedded,
+        retimed_term=retimed_term,
+        retimed_netlist=retimed_netlist,
+        cut=list(analysis.cut_cells),
+        f_term=f_term,
+        g_term=g_term,
+        new_init_value=new_init_value,
+        stats=stats,
+    )

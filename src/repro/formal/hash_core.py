@@ -1,0 +1,247 @@
+"""HASH — composing formal synthesis steps.
+
+Section III.A of the paper: every synthesis step maps a circuit description
+to a *theorem* relating the old and the new description, and compound
+synthesis programs are obtained by chaining those theorems with the
+transitivity rule, whose cost is constant ("pointers — no copying"), so "the
+overall complexity of the compound synthesis step is the sum of its two
+parts".
+
+This module provides the step abstraction and a few ready-made steps:
+
+* :func:`retiming_step` — the formal forward retiming of
+  :mod:`repro.formal.formal_retiming`;
+* :func:`tidy_step` — a description clean-up (a stand-in for the "logic
+  minimisation" second step in the paper's retiming+minimisation example):
+  single-use ``let`` bindings are inlined and pair projections reduced,
+  entirely through kernel conversions;
+* :func:`bridge_to_netlist_step` — proves that a description term equals the
+  canonical embedding of a given netlist (used to hand a formally produced
+  description back to netlist-based tools and to chain further steps on it);
+* :func:`compose` — the transitivity chain.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..circuits.netlist import Netlist
+from ..logic import conv
+from ..logic.conv import ConvError
+from ..logic.kernel import KernelError, REFL, Theorem
+from ..logic.rules import RuleError, equal_by_normalisation, trans_chain
+from ..logic.stdlib import dest_let, is_let
+from ..logic.terms import Term, iter_subterms
+from .embed import EmbeddedCircuit, embed_netlist
+from .formal_retiming import FormalRetimingResult, FormalSynthesisError, formal_forward_retiming
+
+
+@dataclass
+class FormalStep:
+    """One formal synthesis step: a theorem ``|- before = after`` plus metadata."""
+
+    name: str
+    theorem: Theorem
+    before: Term
+    after: Term
+    seconds: float
+    detail: str = ""
+    artifacts: Dict[str, object] = field(default_factory=dict)
+
+
+def compose(steps: Sequence[FormalStep], name: str = "compound") -> FormalStep:
+    """Chain steps with transitivity into a single correctness theorem.
+
+    The chain fails (raises) if consecutive steps do not fit together — the
+    kernel checks that the descriptions match, so a broken flow cannot
+    silently produce a theorem about the wrong circuits.
+    """
+    if not steps:
+        raise FormalSynthesisError("compose: no steps to compose")
+    t0 = time.perf_counter()
+    try:
+        theorem = trans_chain([s.theorem for s in steps])
+    except (RuleError, KernelError) as exc:
+        raise FormalSynthesisError(f"compose: steps do not chain: {exc}") from exc
+    return FormalStep(
+        name=name,
+        theorem=theorem,
+        before=steps[0].before,
+        after=steps[-1].after,
+        seconds=time.perf_counter() - t0 + sum(s.seconds for s in steps),
+        detail=" ; ".join(s.name for s in steps),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ready-made steps
+# ---------------------------------------------------------------------------
+
+def retiming_step(netlist: Netlist, cut: Sequence[str],
+                  cross_check: bool = True) -> FormalStep:
+    """Formal forward retiming as a composable step."""
+    t0 = time.perf_counter()
+    result = formal_forward_retiming(netlist, cut, cross_check=cross_check)
+    return FormalStep(
+        name=f"retiming[{','.join(result.cut)}]",
+        theorem=result.theorem,
+        before=result.theorem.lhs,
+        after=result.theorem.rhs,
+        seconds=time.perf_counter() - t0,
+        detail=f"new initial state {result.new_init_value!r}",
+        artifacts={"result": result},
+    )
+
+
+def _single_use_let_conv(t: Term):
+    """Unfold a ``let`` whose bound variable occurs at most once in the body."""
+    if not is_let(t):
+        raise ConvError("not a let")
+    var, _value, body = dest_let(t)
+    uses = sum(1 for sub in iter_subterms(body) if sub == var)
+    if uses > 1:
+        raise ConvError("bound variable used more than once")
+    return conv.LET_CONV(t)
+
+
+def tidy_step(description: Term, name: str = "tidy") -> FormalStep:
+    """Clean up a circuit description through kernel conversions.
+
+    Inlines single-use ``let`` bindings and reduces pair projections and beta
+    redexes.  This plays the role of the follow-up "logic minimisation" step
+    in the paper's compound-step discussion: a second, independent formal
+    step whose theorem is chained onto the retiming theorem by transitivity.
+    """
+    t0 = time.perf_counter()
+    cleanup = conv.TOP_DEPTH_CONV(
+        conv.ORELSEC(conv.BETA_CONV, conv.FST_CONV, conv.SND_CONV, _single_use_let_conv)
+    )
+    try:
+        theorem = cleanup(description)
+    except (ConvError, KernelError) as exc:
+        raise FormalSynthesisError(f"tidy step failed: {exc}") from exc
+    return FormalStep(
+        name=name,
+        theorem=theorem,
+        before=theorem.lhs,
+        after=theorem.rhs,
+        seconds=time.perf_counter() - t0,
+        detail=f"term size {description.size()} -> {theorem.rhs.size()}",
+    )
+
+
+def bridge_to_netlist_step(
+    description: Term,
+    netlist: Netlist,
+    max_term_size: int = 200_000,
+    name: str = "bridge",
+    register_order: Optional[Sequence[str]] = None,
+) -> FormalStep:
+    """Prove that a description term equals the canonical embedding of a netlist.
+
+    Both sides are fully normalised (beta, ``let`` unfolding, projections);
+    the equation is accepted only if the normal forms coincide.  Because full
+    normalisation duplicates shared logic, the step enforces a term-size
+    guard and is meant for moderate-sized circuits (examples, tests, compound
+    flows) rather than for the Table-II giants.
+    """
+    t0 = time.perf_counter()
+    embedded = embed_netlist(netlist, register_order=register_order)
+    if description.size() > max_term_size or embedded.term.size() > max_term_size:
+        raise FormalSynthesisError(
+            "bridge step: description too large for full normalisation "
+            f"(size {description.size()} / {embedded.term.size()})"
+        )
+    normalise = conv.TOP_DEPTH_CONV(
+        conv.ORELSEC(conv.BETA_CONV, conv.LET_CONV, conv.FST_CONV, conv.SND_CONV)
+    )
+    try:
+        lhs_norm = normalise(description)
+        rhs_norm = normalise(embedded.term)
+        theorem = equal_by_normalisation(lhs_norm, rhs_norm)
+    except (ConvError, RuleError, KernelError) as exc:
+        raise FormalSynthesisError(
+            f"bridge step: the description does not match the netlist embedding: {exc}"
+        ) from exc
+    return FormalStep(
+        name=name,
+        theorem=theorem,
+        before=theorem.lhs,
+        after=theorem.rhs,
+        seconds=time.perf_counter() - t0,
+        detail=f"matched against netlist {netlist.name}",
+        artifacts={"embedded": embedded},
+    )
+
+
+def retimed_register_order(result: FormalRetimingResult) -> List[str]:
+    """The register order under which the conventionally retimed netlist's
+    embedding matches the formal step's output description.
+
+    The formal step's new compound register is laid out as "cut-cell
+    components first (in cut order), then the passed-through registers (in
+    the original register order)"; this function maps that layout onto the
+    register names of :func:`repro.retiming.apply.apply_forward_retiming`'s
+    output so a bridge step can line the two descriptions up.
+    """
+    netlist = result.retimed_netlist
+    original = result.original.netlist
+    order: List[str] = []
+    for cell_name in result.cut:
+        net = original.cells[cell_name].output
+        for reg in netlist.registers.values():
+            if reg.output == net:
+                order.append(reg.name)
+                break
+        else:
+            raise FormalSynthesisError(
+                f"retimed netlist has no register driving {net!r}; it does not "
+                "correspond to the formal step's output"
+            )
+    for reg_name in result.original.register_order:
+        if reg_name in netlist.registers and reg_name not in order:
+            order.append(reg_name)
+    for reg_name in netlist.registers:
+        if reg_name not in order:
+            order.append(reg_name)
+    return order
+
+
+def bridge_retiming_result(result: FormalRetimingResult,
+                           name: str = "bridge") -> FormalStep:
+    """Bridge a formal retiming result to its conventionally retimed netlist."""
+    return bridge_to_netlist_step(
+        result.retimed_term,
+        result.retimed_netlist,
+        name=name,
+        register_order=retimed_register_order(result),
+    )
+
+
+def compound_retiming_flow(
+    netlist: Netlist,
+    cuts: Sequence[Sequence[str]],
+    tidy: bool = False,
+) -> FormalStep:
+    """A multi-step formal synthesis flow: retime along each cut in turn.
+
+    After each retiming the conventionally retimed netlist is re-embedded and
+    a bridge step links the formal output description to it, so the next
+    retiming can start from a netlist again; all theorems are finally chained
+    by transitivity into a single correctness theorem for the whole flow.
+    """
+    if not cuts:
+        raise FormalSynthesisError("compound_retiming_flow: no cuts given")
+    steps: List[FormalStep] = []
+    current = netlist
+    for index, cut in enumerate(cuts):
+        step = retiming_step(current, cut)
+        steps.append(step)
+        result: FormalRetimingResult = step.artifacts["result"]  # type: ignore[assignment]
+        current = result.retimed_netlist
+        is_last = index == len(cuts) - 1
+        if not is_last or tidy:
+            steps.append(bridge_retiming_result(result, name=f"bridge[{index}]"))
+    return compose(steps, name=f"flow[{len(cuts)} retimings]")

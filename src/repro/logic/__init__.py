@@ -1,0 +1,99 @@
+"""``repro.logic`` — an LCF-style higher-order-logic kernel.
+
+This package is the reproduction's stand-in for the HOL theorem prover used
+by the paper's HASH system.  It provides
+
+* simple types and simply-typed lambda terms (:mod:`repro.logic.hol_types`,
+  :mod:`repro.logic.terms`),
+* an LCF-style kernel whose :class:`~repro.logic.kernel.Theorem` values can
+  only be produced by a fixed set of inference rules
+  (:mod:`repro.logic.kernel`),
+* theories recording constants, axioms and definitions
+  (:mod:`repro.logic.theory`),
+* first-order matching, conversions/rewriting and derived rules
+  (:mod:`repro.logic.match`, :mod:`repro.logic.conv`,
+  :mod:`repro.logic.rules`), and
+* a standard library of booleans, pairs, arithmetic and word-level hardware
+  operators with ground evaluation (:mod:`repro.logic.stdlib`).
+"""
+
+from .hol_types import (
+    HolType,
+    TyApp,
+    TyVar,
+    bool_ty,
+    dest_fun_ty,
+    dest_prod_ty,
+    mk_fun_ty,
+    mk_prod_ty,
+    mk_tuple_ty,
+    mk_vartype,
+    num_ty,
+)
+from .terms import (
+    Abs,
+    Comb,
+    Const,
+    Term,
+    TermError,
+    Var,
+    aconv,
+    dest_eq,
+    flatten_tuple,
+    list_mk_abs,
+    list_mk_comb,
+    mk_abs,
+    mk_comb,
+    mk_eq,
+    mk_fst,
+    mk_pair,
+    mk_snd,
+    mk_tuple,
+    mk_var,
+    strip_abs,
+    strip_comb,
+)
+from .ground import (
+    GroundError,
+    dest_numeral,
+    is_ground,
+    is_numeral,
+    mk_bool,
+    mk_numeral,
+    term_of_value,
+    value_of_term,
+)
+from .kernel import (
+    ABS,
+    ALPHA,
+    AP_TERM,
+    AP_THM,
+    ASSUME,
+    BETA_CONV,
+    COMPUTE,
+    DEDUCT_ANTISYM,
+    EQ_MP,
+    INST,
+    INST_TYPE,
+    KernelError,
+    MK_COMB,
+    REFL,
+    SYM,
+    TRANS,
+    Theorem,
+    current_theory,
+    inference_steps,
+    new_axiom,
+    new_computable_constant,
+    new_definition,
+    proof_size,
+    reset_kernel,
+    set_current_theory,
+    trusted_base_report,
+)
+from .theory import Theory, TheoryError, bootstrap_theory
+from .match import MatchError, matches, term_match
+from . import conv, rules, stdlib
+from .stdlib import ensure_stdlib, mk_let, dest_let, is_let, word_op
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,450 @@
+"""Conversions: theorem-producing term rewriters.
+
+A *conversion* is a function mapping a term ``t`` to a theorem ``|- t = t'``.
+Conversions are the workhorse of the HASH formal synthesis steps: splitting,
+joining and evaluating combinational functions (steps 1, 3 and 4 of the
+paper's retiming procedure) are all performed by composing the conversions
+in this module, so every intermediate circuit description is related to the
+previous one by a kernel-checked equation.
+
+The combinator set follows HOL (``THENC``, ``ORELSEC``, ``DEPTH_CONV`` ...),
+plus:
+
+* :func:`REWR_CONV` — rewrite with an equational theorem, via first-order
+  matching and kernel instantiation;
+* :func:`EVAL_CONV` — bottom-up evaluation of ground applications of
+  computable constants (plus beta/LET/FST/SND reduction);
+* :func:`LET_CONV`, :func:`FST_CONV`, :func:`SND_CONV` — the let/pair
+  unfoldings used when flattening combinational bodies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from . import stdlib
+from .kernel import (
+    ABS,
+    ALPHA,
+    AP_TERM,
+    AP_THM,
+    BETA_CONV,
+    COMPUTE,
+    INST,
+    INST_TYPE,
+    KernelError,
+    MK_COMB,
+    REFL,
+    SYM,
+    TRANS,
+    Theorem,
+    current_theory,
+)
+from .match import MatchError, term_match
+from .terms import Abs, Comb, Const, Term, Var, aconv, dest_eq, strip_comb
+from .theory import TheoryError
+
+#: The type of conversions.
+Conv = Callable[[Term], Theorem]
+
+
+class ConvError(Exception):
+    """Raised when a conversion is not applicable to a term."""
+
+
+class UnchangedError(ConvError):
+    """Raised by conversions that want to signal "no change" cheaply."""
+
+
+# ---------------------------------------------------------------------------
+# Basic conversions and combinators
+# ---------------------------------------------------------------------------
+
+def ALL_CONV(t: Term) -> Theorem:
+    """The identity conversion ``|- t = t``."""
+    return REFL(t)
+
+
+def NO_CONV(t: Term) -> Theorem:
+    """The conversion that always fails."""
+    raise ConvError(f"NO_CONV applied to {t}")
+
+
+def THENC(*convs: Conv) -> Conv:
+    """Sequential composition of conversions."""
+
+    def conv(t: Term) -> Theorem:
+        th = REFL(t)
+        current = t
+        for c in convs:
+            step = c(current)
+            th = TRANS(th, step)
+            current = dest_eq(step.concl)[1]
+        return th
+
+    return conv
+
+
+def ORELSEC(*convs: Conv) -> Conv:
+    """Try conversions in order, returning the first that applies."""
+
+    def conv(t: Term) -> Theorem:
+        last: Optional[Exception] = None
+        for c in convs:
+            try:
+                return c(t)
+            except (ConvError, KernelError, MatchError) as exc:
+                last = exc
+        raise ConvError(f"ORELSEC: no conversion applied to {t}: {last}")
+
+    return conv
+
+
+def TRY_CONV(c: Conv) -> Conv:
+    """Apply ``c`` if possible, otherwise behave as the identity."""
+
+    def conv(t: Term) -> Theorem:
+        try:
+            return c(t)
+        except (ConvError, KernelError, MatchError):
+            return REFL(t)
+
+    return conv
+
+
+def CHANGED_CONV(c: Conv) -> Conv:
+    """Like ``c`` but fails if the result is alpha-equivalent to the input."""
+
+    def conv(t: Term) -> Theorem:
+        th = c(t)
+        if aconv(*dest_eq(th.concl)):
+            raise ConvError(f"CHANGED_CONV: no change on {t}")
+        return th
+
+    return conv
+
+
+def REPEATC(c: Conv, limit: int = 10_000) -> Conv:
+    """Apply ``c`` repeatedly until it fails or stops changing the term."""
+
+    def conv(t: Term) -> Theorem:
+        th = REFL(t)
+        current = t
+        for _ in range(limit):
+            try:
+                step = CHANGED_CONV(c)(current)
+            except (ConvError, KernelError, MatchError):
+                return th
+            th = TRANS(th, step)
+            current = dest_eq(step.concl)[1]
+        raise ConvError("REPEATC: iteration limit exceeded")
+
+    return conv
+
+
+def FIRST_CONV(convs: Sequence[Conv]) -> Conv:
+    return ORELSEC(*convs)
+
+
+def EVERY_CONV(convs: Sequence[Conv]) -> Conv:
+    return THENC(*convs) if convs else ALL_CONV
+
+
+# ---------------------------------------------------------------------------
+# Structural traversal
+# ---------------------------------------------------------------------------
+
+def RAND_CONV(c: Conv) -> Conv:
+    """Apply ``c`` to the operand of an application."""
+
+    def conv(t: Term) -> Theorem:
+        if not isinstance(t, Comb):
+            raise ConvError(f"RAND_CONV: not an application: {t}")
+        return MK_COMB(REFL(t.rator), c(t.rand))
+
+    return conv
+
+
+def RATOR_CONV(c: Conv) -> Conv:
+    """Apply ``c`` to the operator of an application."""
+
+    def conv(t: Term) -> Theorem:
+        if not isinstance(t, Comb):
+            raise ConvError(f"RATOR_CONV: not an application: {t}")
+        return MK_COMB(c(t.rator), REFL(t.rand))
+
+    return conv
+
+
+def LAND_CONV(c: Conv) -> Conv:
+    """Apply ``c`` to the left argument of a binary operator."""
+    return RATOR_CONV(RAND_CONV(c))
+
+
+def ABS_CONV(c: Conv) -> Conv:
+    """Apply ``c`` under an abstraction."""
+
+    def conv(t: Term) -> Theorem:
+        if not isinstance(t, Abs):
+            raise ConvError(f"ABS_CONV: not an abstraction: {t}")
+        return ABS(t.bvar, c(t.body))
+
+    return conv
+
+
+def COMB_CONV(c: Conv) -> Conv:
+    """Apply ``c`` to both sides of an application."""
+
+    def conv(t: Term) -> Theorem:
+        if not isinstance(t, Comb):
+            raise ConvError(f"COMB_CONV: not an application: {t}")
+        return MK_COMB(c(t.rator), c(t.rand))
+
+    return conv
+
+
+def SUB_CONV(c: Conv) -> Conv:
+    """Apply ``c`` to the immediate subterms (identity on atoms)."""
+
+    def conv(t: Term) -> Theorem:
+        if isinstance(t, Comb):
+            return COMB_CONV(c)(t)
+        if isinstance(t, Abs):
+            return ABS_CONV(c)(t)
+        return REFL(t)
+
+    return conv
+
+
+def DEPTH_CONV(c: Conv, limit: int = 100_000) -> Conv:
+    """Apply ``c`` repeatedly to all subterms, bottom-up."""
+
+    def conv(t: Term) -> Theorem:
+        return THENC(SUB_CONV(conv), REPEATC(c, limit))(t)
+
+    return conv
+
+
+def ONCE_DEPTH_CONV(c: Conv) -> Conv:
+    """Apply ``c`` once to the outermost applicable subterms (top-down)."""
+
+    def conv(t: Term) -> Theorem:
+        try:
+            return c(t)
+        except (ConvError, KernelError, MatchError):
+            return SUB_CONV(conv)(t)
+
+    return conv
+
+
+def TOP_DEPTH_CONV(c: Conv, limit: int = 100_000) -> Conv:
+    """Repeatedly apply ``c`` anywhere until no further change occurs."""
+
+    def single_pass(t: Term) -> Theorem:
+        return THENC(REPEATC(c, limit), SUB_CONV(single_pass))(t)
+
+    def conv(t: Term) -> Theorem:
+        th = single_pass(t)
+        current = dest_eq(th.concl)[1]
+        for _ in range(limit):
+            step = single_pass(current)
+            new = dest_eq(step.concl)[1]
+            if aconv(new, current):
+                return th
+            th = TRANS(th, step)
+            current = new
+        raise ConvError("TOP_DEPTH_CONV: iteration limit exceeded")
+
+    return conv
+
+
+# ---------------------------------------------------------------------------
+# Rewriting with theorems
+# ---------------------------------------------------------------------------
+
+def REWR_CONV(th: Theorem, fixed_vars: Iterable[Var] = ()) -> Conv:
+    """Rewrite with the equational theorem ``th`` (left to right).
+
+    The conversion matches the left-hand side of ``th`` against the input
+    term, instantiates ``th`` through the kernel and returns the resulting
+    equation.  Hypotheses of ``th`` are carried over unchanged.
+    """
+    if not th.is_equation():
+        raise ConvError(f"REWR_CONV: theorem is not an equation: {th}")
+    pattern = th.lhs
+    fixed = tuple(fixed_vars)
+
+    def conv(t: Term) -> Theorem:
+        try:
+            term_env, type_env = term_match(pattern, t, avoid=fixed)
+        except MatchError as exc:
+            raise ConvError(f"REWR_CONV: {exc}") from exc
+        out = th
+        if type_env:
+            out = INST_TYPE(type_env, out)
+            # Re-key the term environment with instantiated variable types.
+            from .terms import inst_type as _it
+
+            term_env = { _it(type_env, v): tm for v, tm in term_env.items() }  # type: ignore[misc]
+        if term_env:
+            out = INST(term_env, out)
+        # The instantiated lhs may differ from t only up to alpha.
+        if not aconv(out.lhs, t):
+            raise ConvError(
+                f"REWR_CONV: instantiated lhs {out.lhs} is not the target {t}"
+            )
+        if out.lhs != t:
+            out = TRANS(ALPHA(t, out.lhs), out)
+        return out
+
+    return conv
+
+
+def GEN_REWRITE_CONV(traversal: Callable[[Conv], Conv], thms: Sequence[Theorem]) -> Conv:
+    """Rewrite with any of ``thms`` using the given traversal strategy."""
+    base = ORELSEC(*[REWR_CONV(th) for th in thms]) if thms else NO_CONV
+    return traversal(base)
+
+
+def REWRITE_CONV(thms: Sequence[Theorem]) -> Conv:
+    """Normalise with the given equations using a top-down repeated sweep."""
+    return GEN_REWRITE_CONV(TOP_DEPTH_CONV, thms)
+
+
+def ONCE_REWRITE_CONV(thms: Sequence[Theorem]) -> Conv:
+    return GEN_REWRITE_CONV(ONCE_DEPTH_CONV, thms)
+
+
+# ---------------------------------------------------------------------------
+# Beta / let / pair reductions and ground evaluation
+# ---------------------------------------------------------------------------
+
+def LET_CONV(t: Term) -> Theorem:
+    """Unfold ``LET (\\x. b) e`` to ``b[e/x]``.
+
+    Uses the definitional theorem ``LET_DEF`` from the standard library and a
+    beta step, so the result is fully kernel-checked.
+    """
+    if not (
+        isinstance(t, Comb)
+        and isinstance(t.rator, Comb)
+        and t.rator.rator.is_const("LET")
+    ):
+        raise ConvError(f"LET_CONV: not a LET redex: {t}")
+    let_def = stdlib.let_def_instance(t.rator.rator.ty)
+    # |- LET f e = f e  specialised to this type; rewrite then beta-reduce.
+    step1 = AP_THM(AP_THM(let_def, t.rator.rand), t.rand)
+    # step1 : |- LET (\x. b) e = (\x. b) e, modulo the definition's rhs shape.
+    rhs = dest_eq(step1.concl)[1]
+    step2 = _reduce_applied_lambda(rhs)
+    return TRANS(step1, step2)
+
+
+def _reduce_applied_lambda(t: Term) -> Theorem:
+    """Normalise ``((\\f x. f x) g) e``-like spines down to ``g e`` plus beta."""
+    th = REFL(t)
+    current = t
+    for _ in range(64):
+        changed = False
+        # innermost-leftmost beta on the application spine
+        head, args = strip_comb(current)
+        if isinstance(head, Abs) and args:
+            step = _beta_head_once(current)
+            th = TRANS(th, step)
+            current = dest_eq(step.concl)[1]
+            changed = True
+        if not changed:
+            return th
+    raise ConvError("_reduce_applied_lambda: did not terminate")
+
+
+def _beta_head_once(t: Term) -> Theorem:
+    """Beta-reduce the innermost redex on the application spine of ``t``."""
+    if isinstance(t, Comb):
+        if isinstance(t.rator, Abs):
+            return BETA_CONV(t)
+        inner = _beta_head_once(t.rator)
+        return MK_COMB(inner, REFL(t.rand))
+    raise ConvError(f"_beta_head_once: no redex in {t}")
+
+
+def FST_CONV(t: Term) -> Theorem:
+    """``|- FST (a, b) = a``."""
+    if not (isinstance(t, Comb) and t.rator.is_const("FST")):
+        raise ConvError(f"FST_CONV: not a FST application: {t}")
+    pair = t.rand
+    from .terms import dest_pair, is_pair
+
+    if not is_pair(pair):
+        raise ConvError(f"FST_CONV: argument is not a pair literal: {pair}")
+    a, b = dest_pair(pair)
+    return REWR_CONV(stdlib.fst_pair_theorem())(t)
+
+
+def SND_CONV(t: Term) -> Theorem:
+    """``|- SND (a, b) = b``."""
+    if not (isinstance(t, Comb) and t.rator.is_const("SND")):
+        raise ConvError(f"SND_CONV: not a SND application: {t}")
+    from .terms import is_pair
+
+    if not is_pair(t.rand):
+        raise ConvError(f"SND_CONV: argument is not a pair literal: {t.rand}")
+    return REWR_CONV(stdlib.snd_pair_theorem())(t)
+
+
+def PAIR_REDUCE_CONV(t: Term) -> Theorem:
+    """Reduce ``FST``/``SND`` applied to pair literals anywhere in ``t``."""
+    return TOP_DEPTH_CONV(ORELSEC(FST_CONV, SND_CONV))(t)
+
+
+def BETA_NORM_CONV(t: Term) -> Theorem:
+    """Full beta/LET/pair normalisation of ``t``."""
+    one = ORELSEC(BETA_CONV, LET_CONV, FST_CONV, SND_CONV)
+    return TOP_DEPTH_CONV(one)(t)
+
+
+def COMPUTE_CONV(t: Term) -> Theorem:
+    """Evaluate one ground application of a computable constant."""
+    try:
+        return COMPUTE(t)
+    except KernelError as exc:
+        raise ConvError(str(exc)) from exc
+
+
+def EVAL_CONV(t: Term) -> Theorem:
+    """Evaluate a term to a ground value where possible.
+
+    Performs a bottom-up sweep of beta/LET/pair reduction plus computation
+    rules.  This is the conversion used for step 4 of the retiming procedure
+    (computing the retimed initial state ``f(q)``).
+    """
+    one = ORELSEC(BETA_CONV, LET_CONV, FST_CONV, SND_CONV, COMPUTE_CONV)
+    return TOP_DEPTH_CONV(one)(t)
+
+
+# ---------------------------------------------------------------------------
+# Conversion/rule glue
+# ---------------------------------------------------------------------------
+
+def CONV_RULE(c: Conv, th: Theorem) -> Theorem:
+    """Apply a conversion to the conclusion of a theorem."""
+    from .kernel import EQ_MP
+
+    eq = c(th.concl)
+    return EQ_MP(eq, th)
+
+
+def RHS_CONV_RULE(c: Conv, th: Theorem) -> Theorem:
+    """Apply a conversion to the right-hand side of an equational theorem."""
+    if not th.is_equation():
+        raise ConvError("RHS_CONV_RULE: theorem is not an equation")
+    step = c(th.rhs)
+    return TRANS(th, step)
+
+
+def LHS_CONV_RULE(c: Conv, th: Theorem) -> Theorem:
+    """Apply a conversion to the left-hand side of an equational theorem."""
+    if not th.is_equation():
+        raise ConvError("LHS_CONV_RULE: theorem is not an equation")
+    step = c(th.lhs)
+    return TRANS(SYM(step), th)

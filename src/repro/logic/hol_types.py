@@ -1,0 +1,309 @@
+"""Simple types for the higher-order logic kernel.
+
+The type language follows classical HOL: a type is either a *type variable*
+(written ``'a``, ``'b`` ...) or the application of a *type operator* to a
+(possibly empty) list of argument types.  The kernel ships with the standard
+operators ``bool``, ``fun`` (written ``a -> b``), ``prod`` (written
+``a # b``) and ``num``; theories may register further operators through
+:class:`repro.logic.theory.Theory`.
+
+Types are immutable and hashable so they can be freely shared and used as
+dictionary keys (instantiation environments, matching substitutions).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Sequence, Set, Tuple
+
+
+class HolType:
+    """Base class of HOL types.  Instances are immutable."""
+
+    __slots__ = ()
+
+    # -- structure ---------------------------------------------------------
+    def is_vartype(self) -> bool:
+        return isinstance(self, TyVar)
+
+    def is_type(self) -> bool:
+        return isinstance(self, TyApp)
+
+    def is_fun(self) -> bool:
+        return isinstance(self, TyApp) and self.op == "fun"
+
+    def is_prod(self) -> bool:
+        return isinstance(self, TyApp) and self.op == "prod"
+
+    # -- accessors ---------------------------------------------------------
+    @property
+    def domain(self) -> "HolType":
+        """Argument type of a function type ``a -> b`` (returns ``a``)."""
+        if not self.is_fun():
+            raise TypeError(f"domain: not a function type: {self}")
+        return self.args[0]  # type: ignore[attr-defined]
+
+    @property
+    def codomain(self) -> "HolType":
+        """Result type of a function type ``a -> b`` (returns ``b``)."""
+        if not self.is_fun():
+            raise TypeError(f"codomain: not a function type: {self}")
+        return self.args[1]  # type: ignore[attr-defined]
+
+    @property
+    def fst_type(self) -> "HolType":
+        if not self.is_prod():
+            raise TypeError(f"fst_type: not a product type: {self}")
+        return self.args[0]  # type: ignore[attr-defined]
+
+    @property
+    def snd_type(self) -> "HolType":
+        if not self.is_prod():
+            raise TypeError(f"snd_type: not a product type: {self}")
+        return self.args[1]  # type: ignore[attr-defined]
+
+    # -- traversal ---------------------------------------------------------
+    def type_vars(self) -> Set["TyVar"]:
+        """The set of type variables occurring in this type."""
+        out: Set[TyVar] = set()
+        _collect_tyvars(self, out)
+        return out
+
+    def subst(self, env: Dict["TyVar", "HolType"]) -> "HolType":
+        """Apply a type-variable substitution to this type."""
+        return _type_subst(self, env)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"HolType({self})"
+
+
+class TyVar(HolType):
+    """A type variable, e.g. ``'a``."""
+
+    __slots__ = ("name", "_hash")
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("type variable needs a non-empty name")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_hash", hash(("TyVar", name)))
+
+    def __setattr__(self, key, value):  # pragma: no cover - immutability
+        raise AttributeError("HolType instances are immutable")
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, TyVar) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        return f"'{self.name}" if not self.name.startswith("'") else self.name
+
+
+class TyApp(HolType):
+    """Application of a type operator, e.g. ``bool`` or ``num -> bool``."""
+
+    __slots__ = ("op", "args", "_hash")
+
+    def __init__(self, op: str, args: Sequence[HolType] = ()):
+        if not op:
+            raise ValueError("type operator needs a non-empty name")
+        args = tuple(args)
+        for a in args:
+            if not isinstance(a, HolType):
+                raise TypeError(f"type argument is not a HolType: {a!r}")
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "args", args)
+        object.__setattr__(self, "_hash", hash(("TyApp", op, args)))
+
+    def __setattr__(self, key, value):  # pragma: no cover - immutability
+        raise AttributeError("HolType instances are immutable")
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, TyApp)
+            and other.op == self.op
+            and other.args == self.args
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        if self.op == "fun":
+            dom, cod = self.args
+            dom_s = f"({dom})" if dom.is_fun() else str(dom)
+            return f"{dom_s} -> {cod}"
+        if self.op == "prod":
+            fst, snd = self.args
+            fst_s = f"({fst})" if fst.is_fun() or fst.is_prod() else str(fst)
+            snd_s = f"({snd})" if snd.is_fun() else str(snd)
+            return f"{fst_s} # {snd_s}"
+        if not self.args:
+            return self.op
+        inner = ", ".join(str(a) for a in self.args)
+        return f"({inner}){self.op}"
+
+
+# ---------------------------------------------------------------------------
+# Ground types and constructors
+# ---------------------------------------------------------------------------
+
+#: The type of booleans.
+bool_ty = TyApp("bool")
+
+#: The type of natural numbers (used for word values and widths).
+num_ty = TyApp("num")
+
+
+def mk_fun_ty(dom: HolType, cod: HolType) -> HolType:
+    """Build the function type ``dom -> cod``."""
+    return TyApp("fun", (dom, cod))
+
+
+def mk_prod_ty(fst: HolType, snd: HolType) -> HolType:
+    """Build the product type ``fst # snd``."""
+    return TyApp("prod", (fst, snd))
+
+
+def mk_vartype(name: str) -> TyVar:
+    """Build the type variable ``'name``."""
+    return TyVar(name)
+
+
+def mk_tuple_ty(types: Sequence[HolType]) -> HolType:
+    """Right-nested product of one or more types.
+
+    ``mk_tuple_ty([a])`` is ``a``; ``mk_tuple_ty([a, b, c])`` is
+    ``a # (b # c)``.
+    """
+    types = list(types)
+    if not types:
+        raise ValueError("mk_tuple_ty: need at least one type")
+    out = types[-1]
+    for ty in reversed(types[:-1]):
+        out = mk_prod_ty(ty, out)
+    return out
+
+
+def dest_fun_ty(ty: HolType) -> Tuple[HolType, HolType]:
+    """Destruct a function type into ``(domain, codomain)``."""
+    if not ty.is_fun():
+        raise TypeError(f"dest_fun_ty: not a function type: {ty}")
+    return ty.args[0], ty.args[1]  # type: ignore[attr-defined]
+
+
+def dest_prod_ty(ty: HolType) -> Tuple[HolType, HolType]:
+    """Destruct a product type into ``(fst, snd)``."""
+    if not ty.is_prod():
+        raise TypeError(f"dest_prod_ty: not a product type: {ty}")
+    return ty.args[0], ty.args[1]  # type: ignore[attr-defined]
+
+
+def strip_fun_ty(ty: HolType) -> Tuple[Tuple[HolType, ...], HolType]:
+    """Split ``a -> b -> ... -> r`` into ``((a, b, ...), r)``."""
+    doms = []
+    while ty.is_fun():
+        doms.append(ty.domain)
+        ty = ty.codomain
+    return tuple(doms), ty
+
+
+def flatten_prod_ty(ty: HolType) -> Tuple[HolType, ...]:
+    """Flatten a right-nested product type into its components."""
+    parts = []
+    while ty.is_prod():
+        parts.append(ty.fst_type)
+        ty = ty.snd_type
+    parts.append(ty)
+    return tuple(parts)
+
+
+# ---------------------------------------------------------------------------
+# Traversal helpers
+# ---------------------------------------------------------------------------
+
+def _collect_tyvars(ty: HolType, out: Set[TyVar]) -> None:
+    if isinstance(ty, TyVar):
+        out.add(ty)
+    elif isinstance(ty, TyApp):
+        for a in ty.args:
+            _collect_tyvars(a, out)
+
+
+def _type_subst(ty: HolType, env: Dict[TyVar, HolType]) -> HolType:
+    if isinstance(ty, TyVar):
+        return env.get(ty, ty)
+    assert isinstance(ty, TyApp)
+    if not ty.args:
+        return ty
+    new_args = tuple(_type_subst(a, env) for a in ty.args)
+    if new_args == ty.args:
+        return ty
+    return TyApp(ty.op, new_args)
+
+
+def type_subst(env: Dict[TyVar, HolType], ty: HolType) -> HolType:
+    """Apply the type substitution ``env`` to ``ty``."""
+    return _type_subst(ty, env)
+
+
+def type_match(
+    pattern: HolType, target: HolType, env: Dict[TyVar, HolType] = None
+) -> Dict[TyVar, HolType]:
+    """Match ``pattern`` against ``target``.
+
+    Returns a substitution ``env`` over the pattern's type variables such that
+    ``pattern.subst(env) == target``.  Raises :class:`TypeMatchError` if no
+    such substitution exists (or if it conflicts with the incoming ``env``).
+    """
+    env = dict(env or {})
+    _type_match(pattern, target, env)
+    return env
+
+
+class TypeMatchError(Exception):
+    """Raised when two types cannot be matched."""
+
+
+def _type_match(pattern: HolType, target: HolType, env: Dict[TyVar, HolType]) -> None:
+    if isinstance(pattern, TyVar):
+        bound = env.get(pattern)
+        if bound is None:
+            env[pattern] = target
+        elif bound != target:
+            raise TypeMatchError(
+                f"type variable {pattern} matched against both {bound} and {target}"
+            )
+        return
+    assert isinstance(pattern, TyApp)
+    if not isinstance(target, TyApp) or target.op != pattern.op or len(
+        target.args
+    ) != len(pattern.args):
+        raise TypeMatchError(f"cannot match {pattern} against {target}")
+    for p, t in zip(pattern.args, target.args):
+        _type_match(p, t, env)
+
+
+def iter_subtypes(ty: HolType) -> Iterator[HolType]:
+    """Iterate over all subtypes of ``ty`` (including ``ty`` itself)."""
+    yield ty
+    if isinstance(ty, TyApp):
+        for a in ty.args:
+            yield from iter_subtypes(a)
+
+
+def occurs_in(tv: TyVar, ty: HolType) -> bool:
+    """``True`` if the type variable ``tv`` occurs in ``ty``."""
+    return any(sub == tv for sub in iter_subtypes(ty))
+
+
+def fresh_tyvar(avoid: Iterable[TyVar], base: str = "a") -> TyVar:
+    """Return a type variable with a name not used by any of ``avoid``."""
+    used = {tv.name for tv in avoid}
+    if base not in used:
+        return TyVar(base)
+    i = 0
+    while f"{base}{i}" in used:
+        i += 1
+    return TyVar(f"{base}{i}")

@@ -1,0 +1,163 @@
+"""First-order term matching (with type matching).
+
+:func:`term_match` finds substitutions ``(term_env, type_env)`` such that
+instantiating the pattern with ``type_env`` (types) and then ``term_env``
+(free variables) yields the target term, up to alpha-equivalence.  This is
+the engine behind ``REWR_CONV`` and behind matching a circuit description
+against the left-hand side of the universal retiming theorem (step 2 of the
+paper's procedure).
+
+Only *first-order* patterns are supported: a pattern variable may not be
+applied to arguments that contain bound variables of the pattern.  That is
+sufficient for the whole library; higher-order instantiations of the
+retiming theorem are produced directly (the theorem is stored with free
+function variables ``f`` and ``g`` which are first-order positions).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from .hol_types import HolType, TyVar, TypeMatchError, type_match, type_subst
+from .terms import Abs, Comb, Const, Term, Var, aconv, inst_type, var_subst
+
+
+class MatchError(Exception):
+    """Raised when a pattern does not match a target term."""
+
+
+Substitution = Tuple[Dict[Var, Term], Dict[TyVar, HolType]]
+
+
+def term_match(
+    pattern: Term,
+    target: Term,
+    avoid: Optional[Iterable[Var]] = None,
+    term_env: Optional[Dict[Var, Term]] = None,
+    type_env: Optional[Dict[TyVar, HolType]] = None,
+) -> Substitution:
+    """Match ``pattern`` against ``target``.
+
+    ``avoid`` lists pattern variables that must *not* be instantiated (they
+    are treated as local constants).  Returns ``(term_env, type_env)``;
+    raises :class:`MatchError` when no match exists.
+    """
+    tenv: Dict[Var, Term] = dict(term_env or {})
+    tyenv: Dict[TyVar, HolType] = dict(type_env or {})
+    fixed: Set[Var] = set(avoid or ())
+    _match(pattern, target, tenv, tyenv, fixed, {}, {})
+    return tenv, tyenv
+
+
+def _match(
+    pattern: Term,
+    target: Term,
+    tenv: Dict[Var, Term],
+    tyenv: Dict[TyVar, HolType],
+    fixed: Set[Var],
+    pbound: Dict[Var, int],
+    tbound: Dict[Var, int],
+) -> None:
+    if isinstance(pattern, Var):
+        if pattern in pbound:
+            # A bound variable of the pattern must map to the corresponding
+            # bound variable of the target.
+            if not (isinstance(target, Var) and tbound.get(target) == pbound[pattern]):
+                raise MatchError(
+                    f"bound variable {pattern.name} does not correspond to {target}"
+                )
+            return
+        if pattern in fixed:
+            if not (isinstance(target, Var) and target == pattern):
+                raise MatchError(f"fixed variable {pattern.name} cannot be instantiated")
+            return
+        # Pattern variable: bind (or check) it.  First make the types agree.
+        try:
+            type_match(pattern.ty, target.ty, tyenv)
+            tyenv.update(type_match(pattern.ty, target.ty, tyenv))
+        except TypeMatchError as exc:
+            raise MatchError(str(exc)) from exc
+        # The instantiation must not capture bound variables of the target.
+        for fv in target.free_vars():
+            if fv in tbound:
+                raise MatchError(
+                    f"instantiation of {pattern.name} would capture bound variable {fv.name}"
+                )
+        existing = tenv.get(pattern)
+        if existing is None:
+            tenv[pattern] = target
+        elif not aconv(existing, target):
+            raise MatchError(
+                f"pattern variable {pattern.name} matched against two different terms"
+            )
+        return
+
+    if isinstance(pattern, Const):
+        if not (isinstance(target, Const) and target.name == pattern.name):
+            raise MatchError(f"constant {pattern.name} does not match {target}")
+        try:
+            tyenv.update(type_match(pattern.ty, target.ty, tyenv))
+        except TypeMatchError as exc:
+            raise MatchError(str(exc)) from exc
+        return
+
+    if isinstance(pattern, Comb):
+        if not isinstance(target, Comb):
+            raise MatchError(f"application pattern does not match {target}")
+        _match(pattern.rator, target.rator, tenv, tyenv, fixed, pbound, tbound)
+        _match(pattern.rand, target.rand, tenv, tyenv, fixed, pbound, tbound)
+        return
+
+    assert isinstance(pattern, Abs)
+    if not isinstance(target, Abs):
+        raise MatchError(f"abstraction pattern does not match {target}")
+    try:
+        tyenv.update(type_match(pattern.bvar.ty, target.bvar.ty, tyenv))
+    except TypeMatchError as exc:
+        raise MatchError(str(exc)) from exc
+    depth = len(pbound)
+    new_pbound = dict(pbound)
+    new_tbound = dict(tbound)
+    new_pbound[pattern.bvar] = depth
+    new_tbound[target.bvar] = depth
+    _match(pattern.body, target.body, tenv, tyenv, fixed, new_pbound, new_tbound)
+
+
+def apply_substitution(subst: Substitution, t: Term) -> Term:
+    """Apply a substitution produced by :func:`term_match` to a term."""
+    term_env, type_env = subst
+    t2 = inst_type(type_env, t)
+    # Re-type the keys of the term environment after type instantiation.
+    retyped = {}
+    for v, tm in term_env.items():
+        v2 = inst_type(type_env, v)
+        assert isinstance(v2, Var)
+        retyped[v2] = tm
+    return var_subst(retyped, t2)
+
+
+def matches(pattern: Term, target: Term) -> bool:
+    """``True`` if ``pattern`` matches ``target``."""
+    try:
+        term_match(pattern, target)
+        return True
+    except MatchError:
+        return False
+
+
+def first_order_match_check(pattern: Term, target: Term) -> Substitution:
+    """Match and verify that instantiation reproduces the target.
+
+    This is a belt-and-braces helper used by ``REWR_CONV``: even though the
+    result is later validated by the kernel (the rewrite is built from
+    ``INST``/``INST_TYPE`` and checked by ``TRANS``), verifying here gives a
+    much better error message.
+    """
+    subst = term_match(pattern, target)
+    restored = apply_substitution(subst, pattern)
+    if not aconv(restored, target):
+        raise MatchError(
+            "match succeeded but instantiation does not reproduce the target "
+            f"(pattern {pattern}, target {target})"
+        )
+    return subst

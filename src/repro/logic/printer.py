@@ -1,0 +1,114 @@
+"""Pretty printing of HOL terms and theorems.
+
+The printer produces a compact, HOL-style concrete syntax:
+
+* equality and the boolean connectives print infix,
+* pairs print as ``(a, b)``,
+* ``LET`` redexes print as ``let x = e in body``,
+* numerals print as decimal literals,
+* everything else prints as curried application.
+
+The printer is purely cosmetic: no proof step depends on it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import terms as tm
+
+#: Infix constants and their (symbol, precedence).  Higher binds tighter.
+_INFIX = {
+    "=": ("=", 20),
+    "==>": ("==>", 10),
+    "/\\": ("/\\", 16),
+    "\\/": ("\\/", 14),
+    ",": (",", 8),
+    "ADD": ("+", 30),
+    "SUB": ("-", 30),
+    "MUL": ("*", 32),
+}
+
+_QUANTIFIERS = {"!": "!", "?": "?", "?!": "?!"}
+
+
+def term_to_string(t: "tm.Term") -> str:
+    """Render a term as a string."""
+    return _print(t, 0)
+
+
+def _print(t: "tm.Term", prec: int) -> str:
+    if isinstance(t, tm.Var):
+        return t.name
+    if isinstance(t, tm.Const):
+        return t.name
+    if isinstance(t, tm.Abs):
+        vars_, body = tm.strip_abs(t)
+        names = " ".join(v.name for v in vars_)
+        s = f"\\{names}. {_print(body, 0)}"
+        return f"({s})" if prec > 0 else s
+    assert isinstance(t, tm.Comb)
+
+    # let x = e in body, encoded as LET (\x. body) e
+    if (
+        isinstance(t.rator, tm.Comb)
+        and t.rator.rator.is_const("LET")
+        and isinstance(t.rator.rand, tm.Abs)
+    ):
+        ab = t.rator.rand
+        s = f"let {ab.bvar.name} = {_print(t.rand, 0)} in {_print(ab.body, 0)}"
+        return f"({s})" if prec > 0 else s
+
+    # quantifiers: ! (\x. body)
+    head, args = tm.strip_comb(t)
+    if (
+        isinstance(head, tm.Const)
+        and head.name in _QUANTIFIERS
+        and len(args) == 1
+        and isinstance(args[0], tm.Abs)
+    ):
+        vars_, body = tm.strip_abs(args[0])
+        names = " ".join(v.name for v in vars_)
+        s = f"{_QUANTIFIERS[head.name]}{names}. {_print(body, 0)}"
+        return f"({s})" if prec > 0 else s
+
+    # negation
+    if head.is_const("~") and len(args) == 1:
+        return f"~{_print(args[0], 99)}"
+
+    # infix binary operators
+    if isinstance(head, tm.Const) and head.name in _INFIX and len(args) == 2:
+        sym, p = _INFIX[head.name]
+        left = _print(args[0], p + 1)
+        right = _print(args[1], p + (0 if head.name == "," else 1))
+        if head.name == ",":
+            s = f"({left}{sym} {right})"
+            return s
+        s = f"{left} {sym} {right}"
+        return f"({s})" if prec >= p else s
+
+    # general application
+    parts = [_print(head, 100)] + [_print(a, 100) for a in args]
+    s = " ".join(parts)
+    return f"({s})" if prec >= 100 else s
+
+
+def theorem_to_string(hyps, concl) -> str:
+    """Render a theorem ``hyps |- concl``."""
+    if hyps:
+        hs = ", ".join(term_to_string(h) for h in sorted(hyps, key=term_to_string))
+        return f"{hs} |- {term_to_string(concl)}"
+    return f"|- {term_to_string(concl)}"
+
+
+def type_to_string(ty) -> str:
+    """Render a type (delegates to the type's ``__str__``)."""
+    return str(ty)
+
+
+def pp(obj, width: Optional[int] = None) -> str:
+    """Best-effort pretty print of a term, type or theorem."""
+    _ = width
+    if isinstance(obj, tm.Term):
+        return term_to_string(obj)
+    return str(obj)

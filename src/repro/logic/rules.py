@@ -1,0 +1,133 @@
+"""Derived inference rules built on top of the kernel.
+
+Everything in this module is *derived*: each function only calls kernel
+rules (or other derived rules), so it cannot enlarge the trusted base.
+The most important rule for the paper's methodology is
+:func:`trans_chain`, which composes a whole sequence of synthesis-step
+theorems ``|- c0 = c1``, ``|- c1 = c2``, ... into a single correctness
+theorem ``|- c0 = cn`` — the "compound synthesis step" of Section III.A.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from .kernel import (
+    ALPHA,
+    AP_TERM,
+    AP_THM,
+    DEDUCT_ANTISYM,
+    EQ_MP,
+    INST,
+    INST_TYPE,
+    KernelError,
+    MK_COMB,
+    REFL,
+    SYM,
+    TRANS,
+    Theorem,
+)
+from .terms import Comb, Term, Var, aconv, dest_eq
+
+
+class RuleError(Exception):
+    """Raised when a derived rule is applied to unsuitable theorems."""
+
+
+def trans_chain(thms: Sequence[Theorem]) -> Theorem:
+    """Chain equational theorems ``|- a0 = a1``, ``|- a1 = a2`` ... by TRANS.
+
+    This is the constant-overhead composition of synthesis steps described in
+    the paper: the cost is one ``TRANS`` per step regardless of how the
+    individual theorems were obtained.
+    """
+    thms = list(thms)
+    if not thms:
+        raise RuleError("trans_chain: empty chain")
+    out = thms[0]
+    for th in thms[1:]:
+        out = TRANS(out, th)
+    return out
+
+
+def prove_hyp(lemma: Theorem, th: Theorem) -> Theorem:
+    """From ``|- a`` and ``{a, ...} |- b`` infer ``{...} |- b``."""
+    eq = DEDUCT_ANTISYM(lemma, th)
+    return EQ_MP(eq, lemma)
+
+
+def eqt_elim_like(th_eq: Theorem, th_lhs: Theorem) -> Theorem:
+    """From ``|- a = b`` and ``|- a`` infer ``|- b`` (alias for EQ_MP)."""
+    return EQ_MP(th_eq, th_lhs)
+
+
+def undisch_all(th: Theorem) -> Theorem:
+    """Identity placeholder kept for API parity with HOL (no implications used)."""
+    return th
+
+
+def ap_term_list(f: Term, thms: Sequence[Theorem]) -> Theorem:
+    """From ``|- a1 = b1`` ... infer ``|- f a1 ... an = f b1 ... bn``."""
+    out = REFL(f)
+    for th in thms:
+        out = MK_COMB(out, th)
+    return out
+
+
+def inst_rule(env: Dict[Var, Term], th: Theorem) -> Theorem:
+    """Alias of the kernel's INST with a friendlier error message."""
+    try:
+        return INST(env, th)
+    except KernelError as exc:
+        raise RuleError(f"instantiation failed: {exc}") from exc
+
+
+def alpha_link(th: Theorem, target_lhs: Term) -> Theorem:
+    """Re-anchor an equation on an alpha-equivalent left-hand side.
+
+    Given ``|- a = b`` and a term ``a'`` alpha-equivalent to ``a``, returns
+    ``|- a' = b``.
+    """
+    a, _ = dest_eq(th.concl)
+    if a == target_lhs:
+        return th
+    if not aconv(a, target_lhs):
+        raise RuleError("alpha_link: terms are not alpha-equivalent")
+    return TRANS(ALPHA(target_lhs, a), th)
+
+
+def sym(th: Theorem) -> Theorem:
+    """``|- a = b``  ⟹  ``|- b = a``."""
+    return SYM(th)
+
+
+def both_sides(f: Term, th: Theorem) -> Theorem:
+    """``|- a = b``  ⟹  ``|- f a = f b``."""
+    return AP_TERM(f, th)
+
+
+def apply_to(th: Theorem, x: Term) -> Theorem:
+    """``|- f = g``  ⟹  ``|- f x = g x``."""
+    return AP_THM(th, x)
+
+
+def equal_by_normalisation(norm_lhs: Theorem, norm_rhs: Theorem) -> Theorem:
+    """Derive ``|- a = b`` from ``|- a = n`` and ``|- b = n'`` with ``n`` α-eq ``n'``.
+
+    This is how the split (step 1) and join (step 3) equations of the formal
+    retiming procedure are established: both sides are normalised and the
+    normal forms must coincide, otherwise the derivation fails (the
+    "faulty heuristic" behaviour of Section IV.C).
+    """
+    _, n1 = dest_eq(norm_lhs.concl)
+    _, n2 = dest_eq(norm_rhs.concl)
+    if not aconv(n1, n2):
+        raise RuleError(
+            "equal_by_normalisation: normal forms differ:\n"
+            f"  {n1}\n  {n2}"
+        )
+    right = SYM(norm_rhs)
+    if n1 != n2:
+        link = ALPHA(n1, n2)
+        return TRANS(TRANS(norm_lhs, link), right)
+    return TRANS(norm_lhs, right)

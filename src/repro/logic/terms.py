@@ -1,0 +1,677 @@
+"""Terms of the higher-order logic kernel.
+
+The term language is the simply-typed lambda calculus with constants:
+
+* :class:`Var` — a variable with a name and a type,
+* :class:`Const` — a constant with a name and a type (an instance of the
+  constant's generic type registered in the :class:`~repro.logic.theory.Theory`),
+* :class:`Comb` — application ``f x``,
+* :class:`Abs` — abstraction ``\\x. t``.
+
+Terms are immutable, hash-consed per structural identity and compared
+structurally (``==`` is *not* alpha-equivalence; use :func:`aconv` for that).
+All the usual syntactic operations live here: free variables, capture
+avoiding substitution, type instantiation, beta reduction and a small zoo of
+constructors/destructors for equality, pairs and tuples that the rest of the
+library relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .hol_types import (
+    HolType,
+    TyVar,
+    bool_ty,
+    dest_fun_ty,
+    mk_fun_ty,
+    mk_prod_ty,
+    type_subst,
+)
+
+
+class TermError(Exception):
+    """Raised for ill-formed term constructions."""
+
+
+class Term:
+    """Base class of HOL terms.  Instances are immutable."""
+
+    __slots__ = ()
+
+    # -- typing ------------------------------------------------------------
+    @property
+    def ty(self) -> HolType:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    # -- structure predicates ------------------------------------------------
+    def is_var(self) -> bool:
+        return isinstance(self, Var)
+
+    def is_const(self, name: Optional[str] = None) -> bool:
+        return isinstance(self, Const) and (name is None or self.name == name)
+
+    def is_comb(self) -> bool:
+        return isinstance(self, Comb)
+
+    def is_abs(self) -> bool:
+        return isinstance(self, Abs)
+
+    def is_eq(self) -> bool:
+        """Is this term an equality ``a = b``?"""
+        return (
+            isinstance(self, Comb)
+            and isinstance(self.rator, Comb)
+            and self.rator.rator.is_const("=")
+        )
+
+    # -- common accessors ----------------------------------------------------
+    @property
+    def rator(self) -> "Term":
+        raise TermError(f"rator: not a combination: {self}")
+
+    @property
+    def rand(self) -> "Term":
+        raise TermError(f"rand: not a combination: {self}")
+
+    @property
+    def bvar(self) -> "Var":
+        raise TermError(f"bvar: not an abstraction: {self}")
+
+    @property
+    def body(self) -> "Term":
+        raise TermError(f"body: not an abstraction: {self}")
+
+    # -- traversal -----------------------------------------------------------
+    def free_vars(self) -> Set["Var"]:
+        out: Set[Var] = set()
+        _free_vars(self, frozenset(), out)
+        return out
+
+    def constants(self) -> Set["Const"]:
+        out: Set[Const] = set()
+        _constants(self, out)
+        return out
+
+    def type_vars(self) -> Set[TyVar]:
+        out: Set[TyVar] = set()
+        _term_type_vars(self, out)
+        return out
+
+    def size(self) -> int:
+        """Number of term nodes (a rough complexity measure)."""
+        return _term_size(self)
+
+    # -- operations ----------------------------------------------------------
+    def subst(self, env: Dict["Var", "Term"]) -> "Term":
+        """Capture-avoiding substitution of free variables."""
+        return var_subst(env, self)
+
+    def inst_type(self, env: Dict[TyVar, HolType]) -> "Term":
+        """Instantiate type variables throughout the term."""
+        return inst_type(env, self)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Term<{self}>"
+
+    def __str__(self) -> str:
+        from .printer import term_to_string
+
+        return term_to_string(self)
+
+
+class Var(Term):
+    """A term variable ``name : ty``."""
+
+    __slots__ = ("name", "_ty", "_hash")
+
+    def __init__(self, name: str, ty: HolType):
+        if not isinstance(ty, HolType):
+            raise TermError(f"Var: type must be a HolType, got {ty!r}")
+        if not name:
+            raise TermError("Var: empty name")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_ty", ty)
+        object.__setattr__(self, "_hash", hash(("Var", name, ty)))
+
+    def __setattr__(self, key, value):  # pragma: no cover
+        raise AttributeError("Term instances are immutable")
+
+    @property
+    def ty(self) -> HolType:
+        return self._ty
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Var) and other.name == self.name and other._ty == self._ty
+
+    def __hash__(self) -> int:
+        return self._hash
+
+
+class Const(Term):
+    """A constant ``name : ty``.
+
+    The type is a (possibly trivial) instance of the generic type of the
+    constant as declared in the theory.  The kernel checks this at
+    construction via :func:`repro.logic.theory.Theory.mk_const`; the raw
+    constructor here is syntactic only.
+    """
+
+    __slots__ = ("name", "_ty", "_hash")
+
+    def __init__(self, name: str, ty: HolType):
+        if not isinstance(ty, HolType):
+            raise TermError(f"Const: type must be a HolType, got {ty!r}")
+        if not name:
+            raise TermError("Const: empty name")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_ty", ty)
+        object.__setattr__(self, "_hash", hash(("Const", name, ty)))
+
+    def __setattr__(self, key, value):  # pragma: no cover
+        raise AttributeError("Term instances are immutable")
+
+    @property
+    def ty(self) -> HolType:
+        return self._ty
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Const) and other.name == self.name and other._ty == self._ty
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+
+class Comb(Term):
+    """An application ``rator rand``."""
+
+    __slots__ = ("_rator", "_rand", "_ty", "_hash")
+
+    def __init__(self, rator: Term, rand: Term):
+        if not isinstance(rator, Term) or not isinstance(rand, Term):
+            raise TermError("Comb: operands must be terms")
+        rty = rator.ty
+        if not rty.is_fun():
+            raise TermError(
+                f"Comb: operator has non-function type {rty} (term: {rator!s})"
+            )
+        dom, cod = dest_fun_ty(rty)
+        if dom != rand.ty:
+            raise TermError(
+                f"Comb: type mismatch, operator expects {dom} but operand has "
+                f"type {rand.ty}"
+            )
+        object.__setattr__(self, "_rator", rator)
+        object.__setattr__(self, "_rand", rand)
+        object.__setattr__(self, "_ty", cod)
+        object.__setattr__(self, "_hash", hash(("Comb", rator, rand)))
+
+    def __setattr__(self, key, value):  # pragma: no cover
+        raise AttributeError("Term instances are immutable")
+
+    @property
+    def ty(self) -> HolType:
+        return self._ty
+
+    @property
+    def rator(self) -> Term:
+        return self._rator
+
+    @property
+    def rand(self) -> Term:
+        return self._rand
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Comb)
+            and other._hash == self._hash
+            and other._rator == self._rator
+            and other._rand == self._rand
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+
+class Abs(Term):
+    """An abstraction ``\\bvar. body``."""
+
+    __slots__ = ("_bvar", "_body", "_ty", "_hash")
+
+    def __init__(self, bvar: Var, body: Term):
+        if not isinstance(bvar, Var):
+            raise TermError("Abs: bound variable must be a Var")
+        if not isinstance(body, Term):
+            raise TermError("Abs: body must be a term")
+        object.__setattr__(self, "_bvar", bvar)
+        object.__setattr__(self, "_body", body)
+        object.__setattr__(self, "_ty", mk_fun_ty(bvar.ty, body.ty))
+        object.__setattr__(self, "_hash", hash(("Abs", bvar, body)))
+
+    def __setattr__(self, key, value):  # pragma: no cover
+        raise AttributeError("Term instances are immutable")
+
+    @property
+    def ty(self) -> HolType:
+        return self._ty
+
+    @property
+    def bvar(self) -> Var:
+        return self._bvar
+
+    @property
+    def body(self) -> Term:
+        return self._body
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Abs)
+            and other._hash == self._hash
+            and other._bvar == self._bvar
+            and other._body == self._body
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+
+# ---------------------------------------------------------------------------
+# Traversal helpers
+# ---------------------------------------------------------------------------
+
+def _free_vars(t: Term, bound: frozenset, out: Set[Var]) -> None:
+    stack: List[Tuple[Term, frozenset]] = [(t, bound)]
+    while stack:
+        tm, bnd = stack.pop()
+        if isinstance(tm, Var):
+            if tm not in bnd:
+                out.add(tm)
+        elif isinstance(tm, Comb):
+            stack.append((tm.rator, bnd))
+            stack.append((tm.rand, bnd))
+        elif isinstance(tm, Abs):
+            stack.append((tm.body, bnd | {tm.bvar}))
+
+
+def _constants(t: Term, out: Set[Const]) -> None:
+    stack = [t]
+    while stack:
+        tm = stack.pop()
+        if isinstance(tm, Const):
+            out.add(tm)
+        elif isinstance(tm, Comb):
+            stack.append(tm.rator)
+            stack.append(tm.rand)
+        elif isinstance(tm, Abs):
+            stack.append(tm.body)
+
+
+def _term_type_vars(t: Term, out: Set[TyVar]) -> None:
+    stack = [t]
+    while stack:
+        tm = stack.pop()
+        if isinstance(tm, (Var, Const)):
+            out.update(tm.ty.type_vars())
+        elif isinstance(tm, Comb):
+            stack.append(tm.rator)
+            stack.append(tm.rand)
+        elif isinstance(tm, Abs):
+            out.update(tm.bvar.ty.type_vars())
+            stack.append(tm.body)
+
+
+def _term_size(t: Term) -> int:
+    size = 0
+    stack = [t]
+    while stack:
+        tm = stack.pop()
+        size += 1
+        if isinstance(tm, Comb):
+            stack.append(tm.rator)
+            stack.append(tm.rand)
+        elif isinstance(tm, Abs):
+            stack.append(tm.body)
+    return size
+
+
+def free_in(v: Var, t: Term) -> bool:
+    """``True`` if variable ``v`` occurs free in ``t``."""
+    return v in t.free_vars()
+
+
+def variant(avoid: Iterable[Var], v: Var) -> Var:
+    """Rename ``v`` (if necessary) so its name clashes with none of ``avoid``."""
+    used = {a.name for a in avoid}
+    if v.name not in used:
+        return v
+    candidate = v.name + "'"
+    while candidate in used:
+        candidate += "'"
+    return Var(candidate, v.ty)
+
+
+# ---------------------------------------------------------------------------
+# Substitution and instantiation
+# ---------------------------------------------------------------------------
+
+def var_subst(env: Dict[Var, Term], t: Term) -> Term:
+    """Capture-avoiding substitution of free variables.
+
+    ``env`` maps variables to replacement terms; each replacement must have
+    the same type as the variable it replaces.
+    """
+    if not env:
+        return t
+    for v, tm in env.items():
+        if not isinstance(v, Var):
+            raise TermError(f"var_subst: key is not a variable: {v!r}")
+        if v.ty != tm.ty:
+            raise TermError(
+                f"var_subst: type mismatch for {v.name}: {v.ty} vs {tm.ty}"
+            )
+    return _subst(t, env)
+
+
+def _subst(t: Term, env: Dict[Var, Term]) -> Term:
+    if isinstance(t, Var):
+        return env.get(t, t)
+    if isinstance(t, Const):
+        return t
+    if isinstance(t, Comb):
+        new_rator = _subst(t.rator, env)
+        new_rand = _subst(t.rand, env)
+        if new_rator is t.rator and new_rand is t.rand:
+            return t
+        return Comb(new_rator, new_rand)
+    assert isinstance(t, Abs)
+    bv = t.bvar
+    # Drop any binding for the bound variable itself.
+    env2 = {v: tm for v, tm in env.items() if v != bv}
+    if not env2:
+        return t
+    # Avoid capture: if the bound variable is free in any replacement that
+    # will actually be used, rename it.
+    relevant_free: Set[Var] = set()
+    body_frees = t.body.free_vars()
+    used = False
+    for v, tm in env2.items():
+        if v in body_frees:
+            used = True
+            relevant_free |= tm.free_vars()
+    if not used:
+        return t
+    if bv in relevant_free:
+        new_bv = variant(relevant_free | body_frees, bv)
+        new_body = _subst(t.body, {**env2, bv: new_bv})
+        return Abs(new_bv, new_body)
+    new_body = _subst(t.body, env2)
+    if new_body is t.body:
+        return t
+    return Abs(bv, new_body)
+
+
+def inst_type(env: Dict[TyVar, HolType], t: Term) -> Term:
+    """Instantiate type variables throughout a term.
+
+    Bound variables are renamed where the instantiation would cause variable
+    capture (two distinct variables becoming equal).
+    """
+    if not env:
+        return t
+    return _inst_type(t, env)
+
+
+def _inst_type(t: Term, env: Dict[TyVar, HolType]) -> Term:
+    if isinstance(t, Var):
+        new_ty = type_subst(env, t.ty)
+        return t if new_ty == t.ty else Var(t.name, new_ty)
+    if isinstance(t, Const):
+        new_ty = type_subst(env, t.ty)
+        return t if new_ty == t.ty else Const(t.name, new_ty)
+    if isinstance(t, Comb):
+        return Comb(_inst_type(t.rator, env), _inst_type(t.rand, env))
+    assert isinstance(t, Abs)
+    new_bv = _inst_type(t.bvar, env)
+    new_body = _inst_type(t.body, env)
+    assert isinstance(new_bv, Var)
+    # Capture check: a free variable of the body that becomes equal to the
+    # instantiated bound variable must not be captured.  Rename the bound
+    # variable at the un-instantiated level and re-instantiate.
+    old_frees = t.body.free_vars() - {t.bvar}
+    for fv in old_frees:
+        if _inst_type(fv, env) == new_bv:
+            fresh = variant(old_frees | {t.bvar}, t.bvar)
+            renamed = Abs(fresh, var_subst({t.bvar: fresh}, t.body))
+            return _inst_type(renamed, env)
+    return Abs(new_bv, new_body)
+
+
+# ---------------------------------------------------------------------------
+# Alpha equivalence
+# ---------------------------------------------------------------------------
+
+def aconv(t1: Term, t2: Term) -> bool:
+    """Alpha-equivalence of two terms."""
+    return _aconv(t1, t2, {}, {}, 0)
+
+
+def _aconv(t1: Term, t2: Term, m1: dict, m2: dict, depth: int) -> bool:
+    if isinstance(t1, Var):
+        if not isinstance(t2, Var):
+            return False
+        d1 = m1.get(t1)
+        d2 = m2.get(t2)
+        if d1 is None and d2 is None:
+            return t1 == t2
+        return d1 == d2 and t1.ty == t2.ty
+    if isinstance(t1, Const):
+        return t1 == t2
+    if isinstance(t1, Comb):
+        return (
+            isinstance(t2, Comb)
+            and _aconv(t1.rator, t2.rator, m1, m2, depth)
+            and _aconv(t1.rand, t2.rand, m1, m2, depth)
+        )
+    assert isinstance(t1, Abs)
+    if not isinstance(t2, Abs) or t1.bvar.ty != t2.bvar.ty:
+        return False
+    n1 = dict(m1)
+    n2 = dict(m2)
+    n1[t1.bvar] = depth
+    n2[t2.bvar] = depth
+    return _aconv(t1.body, t2.body, n1, n2, depth + 1)
+
+
+# ---------------------------------------------------------------------------
+# Beta reduction
+# ---------------------------------------------------------------------------
+
+def beta_reduce_step(t: Term) -> Term:
+    """Contract the top-level beta redex ``(\\x. b) a`` to ``b[a/x]``."""
+    if not (isinstance(t, Comb) and isinstance(t.rator, Abs)):
+        raise TermError(f"beta_reduce_step: not a beta redex: {t}")
+    return var_subst({t.rator.bvar: t.rand}, t.rator.body)
+
+
+def beta_normalize(t: Term, max_steps: int = 1_000_000) -> Term:
+    """Full beta-normalisation (call-by-value-ish, leftmost-outermost)."""
+    steps = 0
+
+    def norm(tm: Term) -> Term:
+        nonlocal steps
+        while True:
+            steps += 1
+            if steps > max_steps:
+                raise TermError("beta_normalize: too many reduction steps")
+            if isinstance(tm, Comb):
+                rator = norm(tm.rator)
+                rand = norm(tm.rand)
+                if isinstance(rator, Abs):
+                    tm = var_subst({rator.bvar: rand}, rator.body)
+                    continue
+                return Comb(rator, rand) if (rator is not tm.rator or rand is not tm.rand) else tm
+            if isinstance(tm, Abs):
+                body = norm(tm.body)
+                return Abs(tm.bvar, body) if body is not tm.body else tm
+            return tm
+
+    return norm(t)
+
+
+# ---------------------------------------------------------------------------
+# Constructors / destructors for the built-in syntax
+# ---------------------------------------------------------------------------
+
+def mk_var(name: str, ty: HolType) -> Var:
+    return Var(name, ty)
+
+
+def mk_comb(rator: Term, rand: Term) -> Comb:
+    return Comb(rator, rand)
+
+
+def mk_abs(bvar: Var, body: Term) -> Abs:
+    return Abs(bvar, body)
+
+
+def mk_eq(lhs: Term, rhs: Term) -> Term:
+    """Build the equation ``lhs = rhs``."""
+    if lhs.ty != rhs.ty:
+        raise TermError(f"mk_eq: type mismatch {lhs.ty} vs {rhs.ty}")
+    eq_ty = mk_fun_ty(lhs.ty, mk_fun_ty(lhs.ty, bool_ty))
+    return Comb(Comb(Const("=", eq_ty), lhs), rhs)
+
+
+def dest_eq(t: Term) -> Tuple[Term, Term]:
+    """Destruct an equation into ``(lhs, rhs)``."""
+    if not t.is_eq():
+        raise TermError(f"dest_eq: not an equation: {t}")
+    return t.rator.rand, t.rand
+
+
+def lhs(t: Term) -> Term:
+    return dest_eq(t)[0]
+
+
+def rhs(t: Term) -> Term:
+    return dest_eq(t)[1]
+
+
+def mk_binop(op: Term, a: Term, b: Term) -> Term:
+    """Apply a curried binary operator: ``op a b``."""
+    return Comb(Comb(op, a), b)
+
+
+def dest_binop(t: Term) -> Tuple[Term, Term, Term]:
+    """Destruct ``op a b`` into ``(op, a, b)``."""
+    if not (isinstance(t, Comb) and isinstance(t.rator, Comb)):
+        raise TermError(f"dest_binop: not a binary application: {t}")
+    return t.rator.rator, t.rator.rand, t.rand
+
+
+def list_mk_comb(f: Term, args: Sequence[Term]) -> Term:
+    """Apply ``f`` to a list of arguments: ``f a1 a2 ...``."""
+    out = f
+    for a in args:
+        out = Comb(out, a)
+    return out
+
+
+def strip_comb(t: Term) -> Tuple[Term, List[Term]]:
+    """Split ``f a1 ... an`` into ``(f, [a1, ..., an])``."""
+    args: List[Term] = []
+    while isinstance(t, Comb):
+        args.append(t.rand)
+        t = t.rator
+    args.reverse()
+    return t, args
+
+
+def list_mk_abs(vars_: Sequence[Var], body: Term) -> Term:
+    """Build the iterated abstraction ``\\v1 ... vn. body``."""
+    out = body
+    for v in reversed(list(vars_)):
+        out = Abs(v, out)
+    return out
+
+
+def strip_abs(t: Term) -> Tuple[List[Var], Term]:
+    """Split ``\\v1 ... vn. body`` into ``([v1, ..., vn], body)``."""
+    vars_: List[Var] = []
+    while isinstance(t, Abs):
+        vars_.append(t.bvar)
+        t = t.body
+    return vars_, t
+
+
+# -- pairs -------------------------------------------------------------------
+
+def mk_pair(a: Term, b: Term) -> Term:
+    """Build the pair ``(a, b)`` using the ``,`` constant."""
+    pair_ty = mk_fun_ty(a.ty, mk_fun_ty(b.ty, mk_prod_ty(a.ty, b.ty)))
+    return Comb(Comb(Const(",", pair_ty), a), b)
+
+
+def is_pair(t: Term) -> bool:
+    try:
+        op, _, _ = dest_binop(t)
+    except TermError:
+        return False
+    return op.is_const(",")
+
+
+def dest_pair(t: Term) -> Tuple[Term, Term]:
+    op, a, b = dest_binop(t)
+    if not op.is_const(","):
+        raise TermError(f"dest_pair: not a pair: {t}")
+    return a, b
+
+
+def mk_tuple(terms: Sequence[Term]) -> Term:
+    """Right-nested tuple of one or more terms."""
+    terms = list(terms)
+    if not terms:
+        raise TermError("mk_tuple: need at least one term")
+    out = terms[-1]
+    for tm in reversed(terms[:-1]):
+        out = mk_pair(tm, out)
+    return out
+
+
+def flatten_tuple(t: Term) -> List[Term]:
+    """Flatten a right-nested tuple term into its components."""
+    parts: List[Term] = []
+    while is_pair(t):
+        a, b = dest_pair(t)
+        parts.append(a)
+        t = b
+    parts.append(t)
+    return parts
+
+
+def mk_fst(t: Term) -> Term:
+    """``FST t`` for a term of product type."""
+    fst_t, snd_t = t.ty.fst_type, t.ty.snd_type
+    return Comb(Const("FST", mk_fun_ty(mk_prod_ty(fst_t, snd_t), fst_t)), t)
+
+
+def mk_snd(t: Term) -> Term:
+    """``SND t`` for a term of product type."""
+    fst_t, snd_t = t.ty.fst_type, t.ty.snd_type
+    return Comb(Const("SND", mk_fun_ty(mk_prod_ty(fst_t, snd_t), snd_t)), t)
+
+
+def iter_subterms(t: Term) -> Iterator[Term]:
+    """Iterate over all subterms (including ``t``), outside-in."""
+    stack = [t]
+    while stack:
+        tm = stack.pop()
+        yield tm
+        if isinstance(tm, Comb):
+            stack.append(tm.rand)
+            stack.append(tm.rator)
+        elif isinstance(tm, Abs):
+            stack.append(tm.body)

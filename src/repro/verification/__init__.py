@@ -1,0 +1,33 @@
+"""``repro.verification`` — post-synthesis verification baselines.
+
+These are the techniques the paper compares HASH against (Section II and
+Tables I/II):
+
+* :mod:`repro.verification.bdd` — the ROBDD package everything else builds on;
+* :mod:`repro.verification.tautology` — combinational equivalence / tautology
+  checking;
+* :mod:`repro.verification.model_checking` — SMV-style product-machine
+  reachability (the "SMV" column);
+* :mod:`repro.verification.fsm_compare` — SIS-style FSM comparison (the
+  "SIS" column);
+* :mod:`repro.verification.van_eijk` — signal-correspondence induction, with
+  and without functional-dependency exploitation (the "Eijk"/"Eijk+"
+  columns);
+* :mod:`repro.verification.retiming_verify` — structural matching specialised
+  to pure retiming (reference [8] of the paper).
+"""
+
+from .bdd import FALSE, TRUE, BddBudgetExceeded, BddError, BddManager, build_from_table
+from .common import (
+    Budget,
+    ProductFSM,
+    SymbolicFSM,
+    TimeoutBudgetExceeded,
+    VerificationError,
+    VerificationResult,
+    compile_fsm,
+    product_fsm,
+)
+from . import fsm_compare, model_checking, retiming_verify, tautology, van_eijk
+
+__all__ = [name for name in dir() if not name.startswith("_")]

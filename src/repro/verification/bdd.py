@@ -1,0 +1,423 @@
+"""A reduced ordered binary decision diagram (ROBDD) package.
+
+This is the substrate for all of the post-synthesis verification baselines
+the paper compares against (Section II and Tables I/II): the SMV-style
+symbolic model checker, the SIS-style FSM comparison, the van Eijk
+equivalence checker and the boolean tautology checker.  It is a classic
+hash-consed ROBDD implementation:
+
+* nodes live in a :class:`BddManager` and are identified by small integers;
+* the terminals are ``0`` (false) and ``1`` (true);
+* every operation goes through :meth:`BddManager.ite` with a computed table,
+  so results are canonical — two functions are equal iff their node ids are
+  equal;
+* variables are ordered by their integer *level* (creation order by default);
+  the model-checking front end chooses an interleaved ordering for current
+  and next-state variables which is the standard choice for product-machine
+  traversal.
+
+Exactly as in the paper, the run time and memory of everything built on top
+of this package are dominated by BDD sizes, which can grow exponentially
+with the number of state bits — that is the effect Tables I and II measure.
+An optional *node budget* aborts an operation cleanly (raising
+:class:`BddBudgetExceeded`), which the evaluation harness uses to emulate the
+"could not be processed in reasonable time" dashes of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+
+class BddError(Exception):
+    """Raised for malformed BDD operations."""
+
+
+class BddBudgetExceeded(BddError):
+    """Raised when an operation exceeds the manager's node budget."""
+
+
+#: Terminal node ids.
+FALSE = 0
+TRUE = 1
+
+
+@dataclass(frozen=True)
+class _Node:
+    level: int
+    low: int
+    high: int
+
+
+class BddManager:
+    """Owner of a shared, hash-consed ROBDD node store."""
+
+    def __init__(self, node_budget: Optional[int] = None,
+                 deadline: Optional[float] = None):
+        # nodes[0] and nodes[1] are placeholders for the terminals
+        self._nodes: List[_Node] = [
+            _Node(level=1 << 60, low=FALSE, high=FALSE),
+            _Node(level=1 << 60, low=TRUE, high=TRUE),
+        ]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self._var_levels: Dict[str, int] = {}
+        self._level_names: Dict[int, str] = {}
+        self.node_budget = node_budget
+        #: absolute ``time.perf_counter()`` deadline checked during node creation
+        self.deadline = deadline
+
+    def set_deadline(self, deadline: Optional[float]) -> None:
+        """Abort long-running operations after this ``time.perf_counter()`` instant."""
+        self.deadline = deadline
+
+    # -- variables -------------------------------------------------------------
+    def declare(self, name: str, level: Optional[int] = None) -> int:
+        """Declare a variable (optionally at an explicit level); returns its BDD."""
+        if name in self._var_levels:
+            return self.var(name)
+        if level is None:
+            level = len(self._var_levels)
+        if level in self._level_names and self._level_names[level] != name:
+            raise BddError(f"level {level} already used by {self._level_names[level]}")
+        self._var_levels[name] = level
+        self._level_names[level] = name
+        return self.var(name)
+
+    def var(self, name: str) -> int:
+        """The BDD of a declared variable."""
+        if name not in self._var_levels:
+            return self.declare(name)
+        return self._mk(self._var_levels[name], FALSE, TRUE)
+
+    def nvar(self, name: str) -> int:
+        """The BDD of the negation of a variable."""
+        return self._mk(self._var_levels[name], TRUE, FALSE) if name in self._var_levels \
+            else self.apply_not(self.declare(name))
+
+    def var_names(self) -> List[str]:
+        return [self._level_names[lvl] for lvl in sorted(self._level_names)]
+
+    def level_of(self, name: str) -> int:
+        return self._var_levels[name]
+
+    def name_of_level(self, level: int) -> str:
+        return self._level_names[level]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    # -- node construction --------------------------------------------------------
+    def _mk(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        found = self._unique.get(key)
+        if found is not None:
+            return found
+        if self.node_budget is not None and len(self._nodes) >= self.node_budget:
+            raise BddBudgetExceeded(
+                f"BDD node budget of {self.node_budget} nodes exceeded"
+            )
+        if self.deadline is not None and (len(self._nodes) & 0xFF) == 0:
+            import time as _time
+
+            if _time.perf_counter() > self.deadline:
+                raise BddBudgetExceeded(
+                    "wall-clock budget exceeded during a BDD operation"
+                )
+        self._nodes.append(_Node(level, low, high))
+        idx = len(self._nodes) - 1
+        self._unique[key] = idx
+        return idx
+
+    def node(self, f: int) -> _Node:
+        return self._nodes[f]
+
+    def is_terminal(self, f: int) -> bool:
+        return f in (FALSE, TRUE)
+
+    # -- core ITE ---------------------------------------------------------------
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``f ? g : h`` (the universal connective)."""
+        # terminal cases
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        key = (f, g, h)
+        found = self._ite_cache.get(key)
+        if found is not None:
+            return found
+        top = min(self._nodes[f].level, self._nodes[g].level, self._nodes[h].level)
+        f0, f1 = self._cofactors(f, top)
+        g0, g1 = self._cofactors(g, top)
+        h0, h1 = self._cofactors(h, top)
+        low = self.ite(f0, g0, h0)
+        high = self.ite(f1, g1, h1)
+        out = self._mk(top, low, high)
+        self._ite_cache[key] = out
+        return out
+
+    def _cofactors(self, f: int, level: int) -> Tuple[int, int]:
+        node = self._nodes[f]
+        if node.level != level:
+            return f, f
+        return node.low, node.high
+
+    # -- boolean operations --------------------------------------------------------
+    def apply_not(self, f: int) -> int:
+        return self.ite(f, FALSE, TRUE)
+
+    def apply_and(self, f: int, g: int) -> int:
+        return self.ite(f, g, FALSE)
+
+    def apply_or(self, f: int, g: int) -> int:
+        return self.ite(f, TRUE, g)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        return self.ite(f, self.apply_not(g), g)
+
+    def apply_xnor(self, f: int, g: int) -> int:
+        return self.ite(f, g, self.apply_not(g))
+
+    def apply_implies(self, f: int, g: int) -> int:
+        return self.ite(f, g, TRUE)
+
+    def conjoin(self, fs: Iterable[int]) -> int:
+        out = TRUE
+        for f in fs:
+            out = self.apply_and(out, f)
+            if out == FALSE:
+                return FALSE
+        return out
+
+    def disjoin(self, fs: Iterable[int]) -> int:
+        out = FALSE
+        for f in fs:
+            out = self.apply_or(out, f)
+            if out == TRUE:
+                return TRUE
+        return out
+
+    # -- quantification and substitution ------------------------------------------------
+    def restrict(self, f: int, name: str, value: bool) -> int:
+        """Cofactor of ``f`` with respect to ``name = value``."""
+        level = self._var_levels[name]
+        cache: Dict[int, int] = {}
+
+        def walk(g: int) -> int:
+            if self.is_terminal(g):
+                return g
+            node = self._nodes[g]
+            if node.level > level:
+                return g
+            if g in cache:
+                return cache[g]
+            if node.level == level:
+                out = node.high if value else node.low
+            else:
+                out = self._mk(node.level, walk(node.low), walk(node.high))
+            cache[g] = out
+            return out
+
+        return walk(f)
+
+    def exists(self, names: Sequence[str], f: int) -> int:
+        """Existential quantification over the given variables."""
+        levels = sorted(self._var_levels[n] for n in names)
+        if not levels:
+            return f
+        level_set = set(levels)
+        cache: Dict[int, int] = {}
+
+        def walk(g: int) -> int:
+            if self.is_terminal(g):
+                return g
+            if g in cache:
+                return cache[g]
+            node = self._nodes[g]
+            low = walk(node.low)
+            high = walk(node.high)
+            if node.level in level_set:
+                out = self.apply_or(low, high)
+            else:
+                out = self._mk(node.level, low, high)
+            cache[g] = out
+            return out
+
+        return walk(f)
+
+    def forall(self, names: Sequence[str], f: int) -> int:
+        return self.apply_not(self.exists(names, self.apply_not(f)))
+
+    def rename(self, f: int, mapping: Dict[str, str]) -> int:
+        """Rename variables (the standard next-state <-> current-state swap).
+
+        All target variables must already be declared.  Renaming is performed
+        by composition, which is correct for arbitrary (even non-monotone)
+        level changes.
+        """
+        pairs = {self._var_levels[a]: self.var(b) for a, b in mapping.items()}
+        return self._compose_levels(f, pairs)
+
+    def compose(self, f: int, substitution: Dict[str, int]) -> int:
+        """Simultaneous functional composition ``f[var := g]``."""
+        pairs = {self._var_levels[name]: g for name, g in substitution.items()}
+        return self._compose_levels(f, pairs)
+
+    def _compose_levels(self, f: int, pairs: Dict[int, int]) -> int:
+        cache: Dict[int, int] = {}
+
+        def walk(g: int) -> int:
+            if self.is_terminal(g):
+                return g
+            if g in cache:
+                return cache[g]
+            node = self._nodes[g]
+            low = walk(node.low)
+            high = walk(node.high)
+            if node.level in pairs:
+                out = self.ite(pairs[node.level], high, low)
+            else:
+                var_bdd = self._mk(node.level, FALSE, TRUE)
+                out = self.ite(var_bdd, high, low)
+            cache[g] = out
+            return out
+
+        return walk(f)
+
+    def relational_product(
+        self, quantified: Sequence[str], f: int, g: int
+    ) -> int:
+        """``∃ quantified. f ∧ g`` (conjoin then quantify; adequate here)."""
+        return self.exists(quantified, self.apply_and(f, g))
+
+    # -- analysis -----------------------------------------------------------------
+    def support(self, f: int) -> Set[str]:
+        """The set of variables a function depends on."""
+        seen: Set[int] = set()
+        levels: Set[int] = set()
+        stack = [f]
+        while stack:
+            g = stack.pop()
+            if g in seen or self.is_terminal(g):
+                continue
+            seen.add(g)
+            node = self._nodes[g]
+            levels.add(node.level)
+            stack.append(node.low)
+            stack.append(node.high)
+        return {self._level_names[lvl] for lvl in levels}
+
+    def size(self, f: int) -> int:
+        """Number of nodes reachable from ``f`` (excluding terminals)."""
+        seen: Set[int] = set()
+        stack = [f]
+        count = 0
+        while stack:
+            g = stack.pop()
+            if g in seen or self.is_terminal(g):
+                continue
+            seen.add(g)
+            count += 1
+            node = self._nodes[g]
+            stack.append(node.low)
+            stack.append(node.high)
+        return count
+
+    def evaluate(self, f: int, assignment: Dict[str, bool]) -> bool:
+        """Evaluate ``f`` under a total assignment of its support."""
+        g = f
+        while not self.is_terminal(g):
+            node = self._nodes[g]
+            name = self._level_names[node.level]
+            if name not in assignment:
+                raise BddError(f"evaluate: no value for variable {name}")
+            g = node.high if assignment[name] else node.low
+        return g == TRUE
+
+    def any_sat(self, f: int) -> Optional[Dict[str, bool]]:
+        """A satisfying assignment of ``f`` (over its support), or ``None``."""
+        if f == FALSE:
+            return None
+        assignment: Dict[str, bool] = {}
+        g = f
+        while not self.is_terminal(g):
+            node = self._nodes[g]
+            name = self._level_names[node.level]
+            if node.high != FALSE:
+                assignment[name] = True
+                g = node.high
+            else:
+                assignment[name] = False
+                g = node.low
+        return assignment
+
+    def count_sat(self, f: int, over: Optional[Sequence[str]] = None) -> int:
+        """Number of satisfying assignments of ``f`` over the variables ``over``.
+
+        ``over`` defaults to all declared variables.  Every variable in the
+        support of ``f`` must be listed in ``over``.
+        """
+        names = list(over) if over is not None else self.var_names()
+        levels = sorted(self._var_levels[n] for n in names)
+        support_levels = {self._var_levels[n] for n in self.support(f)}
+        if not support_levels.issubset(set(levels)):
+            missing = support_levels - set(levels)
+            raise BddError(
+                "count_sat: support variables not in the counting universe: "
+                + ", ".join(self._level_names[lvl] for lvl in sorted(missing))
+            )
+        nvars = len(levels)
+        index_of = {lvl: i for i, lvl in enumerate(levels)}
+        cache: Dict[int, Tuple[int, int]] = {}
+
+        def walk(g: int) -> Tuple[int, int]:
+            # returns (count over variables strictly below g's index, g's index)
+            if g == FALSE:
+                return 0, nvars
+            if g == TRUE:
+                return 1, nvars
+            if g in cache:
+                return cache[g]
+            node = self._nodes[g]
+            lo_count, lo_idx = walk(node.low)
+            hi_count, hi_idx = walk(node.high)
+            my_idx = index_of[node.level]
+            lo_total = lo_count * (1 << (lo_idx - my_idx - 1))
+            hi_total = hi_count * (1 << (hi_idx - my_idx - 1))
+            out = (lo_total + hi_total, my_idx)
+            cache[g] = out
+            return out
+
+        count, idx = walk(f)
+        return count * (1 << idx)
+
+    def clear_caches(self) -> None:
+        """Drop the operation cache (keeps the unique table)."""
+        self._ite_cache.clear()
+
+
+def build_from_table(manager: BddManager, names: Sequence[str],
+                     truth: Callable[[Tuple[bool, ...]], bool]) -> int:
+    """Build the BDD of an arbitrary boolean function given as a Python callable.
+
+    Exponential in ``len(names)``; used only by tests as a ground-truth
+    reference.
+    """
+    def rec(prefix: Tuple[bool, ...]) -> int:
+        if len(prefix) == len(names):
+            return TRUE if truth(prefix) else FALSE
+        var = manager.var(names[len(prefix)])
+        low = rec(prefix + (False,))
+        high = rec(prefix + (True,))
+        return manager.ite(var, high, low)
+
+    return rec(())

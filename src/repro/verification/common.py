@@ -1,0 +1,312 @@
+"""Shared infrastructure for the verification baselines.
+
+The central object is the :class:`SymbolicFSM`: a gate-level netlist compiled
+into BDDs — one BDD per next-state bit and per output bit, over variables for
+the primary inputs and the current state.  All the baselines (SMV-style model
+checking, SIS-style FSM comparison, van Eijk) work on this representation,
+mirroring how the original tools work on flat bit-level descriptions
+(Section V of the paper points out that this is exactly what limits them
+compared to HASH's RT-level rewriting).
+
+:func:`product_fsm` builds the synchronous product of two circuits on a
+shared manager with an interleaved variable order (inputs first, then the
+state bits of both machines interleaved), which is the standard order for
+equivalence checking.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuits.bitblast import bitblast
+from ..circuits.netlist import Cell, Netlist, NetlistError
+from .bdd import FALSE, TRUE, BddBudgetExceeded, BddError, BddManager
+
+
+class VerificationError(Exception):
+    """Raised for malformed verification problems."""
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of a verification run (one cell of Table I / Table II)."""
+
+    method: str
+    status: str                    # "equivalent" | "not_equivalent" | "timeout" | "error"
+    seconds: float
+    iterations: int = 0
+    peak_nodes: int = 0
+    counterexample: Optional[Dict[str, bool]] = None
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "equivalent"
+
+    @property
+    def timed_out(self) -> bool:
+        return self.status == "timeout"
+
+    def __str__(self) -> str:
+        return f"[{self.method}] {self.status} in {self.seconds:.3f}s ({self.detail})"
+
+
+class Budget:
+    """A wall-clock / BDD-node budget shared by one verification run."""
+
+    def __init__(self, seconds: Optional[float] = None, nodes: Optional[int] = None):
+        self.seconds = seconds
+        self.nodes = nodes
+        self._start = time.perf_counter()
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """Absolute ``time.perf_counter()`` instant at which the budget expires."""
+        if self.seconds is None:
+            return None
+        return self._start + self.seconds
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._start
+
+    def check(self) -> None:
+        if self.seconds is not None and self.elapsed() > self.seconds:
+            raise TimeoutBudgetExceeded(
+                f"time budget of {self.seconds:.1f}s exceeded"
+            )
+
+    def arm(self, manager) -> None:
+        """Make a :class:`~repro.verification.bdd.BddManager` honour this budget."""
+        manager.set_deadline(self.deadline)
+        if self.nodes is not None and manager.node_budget is None:
+            manager.node_budget = self.nodes
+
+
+class TimeoutBudgetExceeded(Exception):
+    """Raised when a verification run exceeds its wall-clock budget."""
+
+
+@dataclass
+class SymbolicFSM:
+    """A gate-level sequential circuit compiled to BDDs."""
+
+    name: str
+    manager: BddManager
+    #: primary input variable names (shared between machines in a product)
+    inputs: List[str]
+    #: current-state variable names, in declaration order
+    state_vars: List[str]
+    #: initial value of each state variable
+    init: Dict[str, bool]
+    #: next-state function of each state variable (BDD over inputs+state)
+    next_fns: Dict[str, int]
+    #: output functions (BDD over inputs+state)
+    output_fns: Dict[str, int]
+    #: BDDs of every internal net (used by van Eijk's signal correspondence)
+    net_fns: Dict[str, int] = field(default_factory=dict)
+
+    def initial_state_bdd(self) -> int:
+        cube = TRUE
+        for var in self.state_vars:
+            lit = self.manager.var(var) if self.init[var] else self.manager.apply_not(
+                self.manager.var(var)
+            )
+            cube = self.manager.apply_and(cube, lit)
+        return cube
+
+    def num_state_bits(self) -> int:
+        return len(self.state_vars)
+
+
+def is_gate_level_netlist(netlist: Netlist) -> bool:
+    """All nets 1 bit wide and all cells plain gates (no word-level operators)."""
+    from ..circuits.cells import GATE_LEVEL_TYPES
+
+    return all(net.width == 1 for net in netlist.nets.values()) and all(
+        cell.type in GATE_LEVEL_TYPES for cell in netlist.cells.values()
+    )
+
+
+def ensure_gate_level(netlist: Netlist) -> Netlist:
+    """Bit-blast a netlist unless it already is a pure gate-level circuit."""
+    if is_gate_level_netlist(netlist):
+        return netlist
+    return bitblast(netlist).netlist
+
+
+_ensure_gate_level = ensure_gate_level
+
+
+def compile_fsm(
+    netlist: Netlist,
+    manager: Optional[BddManager] = None,
+    prefix: str = "",
+    declare_vars: bool = True,
+) -> SymbolicFSM:
+    """Compile a netlist (bit-blasting it first if needed) into a SymbolicFSM.
+
+    ``prefix`` is prepended to state variable names so two machines can
+    coexist in one manager.  Primary-input variables are *not* prefixed:
+    a product machine must drive both circuits with the same inputs.
+    """
+    gate = _ensure_gate_level(netlist)
+    manager = manager or BddManager()
+
+    input_names = list(gate.inputs)
+    state_names = {reg.output: f"{prefix}{reg.output}" for reg in gate.registers.values()}
+
+    if declare_vars:
+        for name in input_names:
+            manager.declare(name)
+        for reg in gate.registers.values():
+            manager.declare(state_names[reg.output])
+
+    values: Dict[str, int] = {}
+    for name in input_names:
+        values[name] = manager.var(name)
+    for reg in gate.registers.values():
+        values[reg.output] = manager.var(state_names[reg.output])
+
+    for cell in gate.topological_cells():
+        values[cell.output] = _cell_bdd(manager, cell, values)
+
+    next_fns = {
+        state_names[reg.output]: values[reg.input] for reg in gate.registers.values()
+    }
+    init = {
+        state_names[reg.output]: bool(reg.init) for reg in gate.registers.values()
+    }
+    output_fns = {out: values[out] for out in gate.outputs}
+
+    return SymbolicFSM(
+        name=netlist.name,
+        manager=manager,
+        inputs=input_names,
+        state_vars=[state_names[reg.output] for reg in gate.registers.values()],
+        init=init,
+        next_fns=next_fns,
+        output_fns=output_fns,
+        net_fns=dict(values),
+    )
+
+
+def _cell_bdd(manager: BddManager, cell: Cell, values: Dict[str, int]) -> int:
+    ins = [values[i] for i in cell.inputs]
+    t = cell.type
+    if t == "BUF":
+        return ins[0]
+    if t == "NOT":
+        return manager.apply_not(ins[0])
+    if t == "AND":
+        return manager.apply_and(ins[0], ins[1])
+    if t == "OR":
+        return manager.apply_or(ins[0], ins[1])
+    if t == "XOR":
+        return manager.apply_xor(ins[0], ins[1])
+    if t == "XNOR":
+        return manager.apply_xnor(ins[0], ins[1])
+    if t == "NAND":
+        return manager.apply_not(manager.apply_and(ins[0], ins[1]))
+    if t == "NOR":
+        return manager.apply_not(manager.apply_or(ins[0], ins[1]))
+    if t == "MUX":
+        return manager.ite(ins[0], ins[1], ins[2])
+    if t == "CONST":
+        return TRUE if int(cell.params.get("value", 0)) & 1 else FALSE
+    raise VerificationError(f"cell type {t} is not gate level (bit-blast first)")
+
+
+@dataclass
+class ProductFSM:
+    """Two machines compiled over a shared manager with interleaved state order."""
+
+    manager: BddManager
+    left: SymbolicFSM
+    right: SymbolicFSM
+    #: paired primary outputs (left name, right name)
+    output_pairs: List[Tuple[str, str]]
+
+    def all_state_vars(self) -> List[str]:
+        return self.left.state_vars + self.right.state_vars
+
+    def next_fns(self) -> Dict[str, int]:
+        fns = dict(self.left.next_fns)
+        fns.update(self.right.next_fns)
+        return fns
+
+    def initial_state_bdd(self) -> int:
+        return self.manager.apply_and(
+            self.left.initial_state_bdd(), self.right.initial_state_bdd()
+        )
+
+    def outputs_equal_bdd(self) -> int:
+        """BDD of "all paired outputs agree" (over inputs and both states)."""
+        m = self.manager
+        out = TRUE
+        for lo, ro in self.output_pairs:
+            eq = m.apply_xnor(self.left.output_fns[lo], self.right.output_fns[ro])
+            out = m.apply_and(out, eq)
+        return out
+
+
+def product_fsm(
+    a: Netlist,
+    b: Netlist,
+    manager: Optional[BddManager] = None,
+    node_budget: Optional[int] = None,
+) -> ProductFSM:
+    """Compile two circuits with the same primary inputs into a product FSM.
+
+    The circuits must have identical primary input names/widths and the same
+    primary output names/widths (the usual precondition of sequential
+    equivalence checking).  State variables of the two machines are
+    interleaved in the BDD order.
+    """
+    gate_a = _ensure_gate_level(a)
+    gate_b = _ensure_gate_level(b)
+    if sorted(gate_a.inputs) != sorted(gate_b.inputs):
+        raise VerificationError(
+            f"input mismatch: {sorted(gate_a.inputs)} vs {sorted(gate_b.inputs)}"
+        )
+    if sorted(gate_a.outputs) != sorted(gate_b.outputs):
+        raise VerificationError(
+            f"output mismatch: {sorted(gate_a.outputs)} vs {sorted(gate_b.outputs)}"
+        )
+    manager = manager or BddManager(node_budget=node_budget)
+
+    # interleaved variable order: inputs, then state bits of A and B alternating
+    for name in gate_a.inputs:
+        manager.declare(name)
+    regs_a = list(gate_a.registers.values())
+    regs_b = list(gate_b.registers.values())
+    # each primed (next-state) variable sits right next to its unprimed partner
+    for i in range(max(len(regs_a), len(regs_b))):
+        if i < len(regs_a):
+            manager.declare(f"A.{regs_a[i].output}")
+            manager.declare(f"A.{regs_a[i].output}'")
+        if i < len(regs_b):
+            manager.declare(f"B.{regs_b[i].output}")
+            manager.declare(f"B.{regs_b[i].output}'")
+
+    left = compile_fsm(gate_a, manager, prefix="A.", declare_vars=False)
+    right = compile_fsm(gate_b, manager, prefix="B.", declare_vars=False)
+    pairs = [(o, o) for o in gate_a.outputs]
+    return ProductFSM(manager=manager, left=left, right=right, output_pairs=pairs)
+
+
+def declare_next_state_vars(product: ProductFSM) -> Dict[str, str]:
+    """Declare primed copies of all state variables (for transition relations).
+
+    Each primed variable is declared immediately after its unprimed partner
+    would appear in the order (appended at the end of the current order,
+    still pairing A and B machines), and the mapping current -> primed is
+    returned.
+    """
+    mapping: Dict[str, str] = {}
+    for var in product.all_state_vars():
+        primed = var + "'"
+        product.manager.declare(primed)
+        mapping[var] = primed
+    return mapping

@@ -1,0 +1,139 @@
+"""Boolean tautology checking / combinational equivalence.
+
+Section II of the paper lists tautology checkers as the automatic technique
+for *combinational* circuits ("Boolean tautology checkers can only be applied
+to pure combinatorial circuits and to sequential circuits with same state
+representation.  The timing complexity increases exponentially with the size
+of the circuits").  This module provides that baseline:
+
+* :func:`is_tautology` — is a single-output combinational circuit constantly
+  true?
+* :func:`combinational_equivalent` — do two combinational circuits (or two
+  sequential circuits with the *same* registers, compared cut-point-wise at
+  the register boundary) implement the same functions?
+
+It is used by the compound-step experiments (retiming followed by logic
+minimisation) and by tests as a ground-truth check for small circuits.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from ..circuits.bitblast import bitblast
+from ..circuits.netlist import Netlist
+from .bdd import FALSE, TRUE, BddBudgetExceeded, BddManager
+from .common import (
+    Budget,
+    TimeoutBudgetExceeded,
+    VerificationResult,
+    compile_fsm,
+)
+
+
+def _gate_level(netlist: Netlist) -> Netlist:
+    from .common import ensure_gate_level
+
+    return ensure_gate_level(netlist)
+
+
+def is_tautology(netlist: Netlist, output: Optional[str] = None) -> bool:
+    """Is the given (1-bit) output of a combinational circuit constantly true?"""
+    gate = _gate_level(netlist)
+    if gate.registers:
+        raise ValueError("is_tautology: circuit must be purely combinational")
+    fsm = compile_fsm(gate)
+    out = output or gate.outputs[0]
+    return fsm.output_fns[out] == TRUE
+
+
+def combinational_equivalent(
+    a: Netlist,
+    b: Netlist,
+    time_budget: Optional[float] = None,
+    node_budget: Optional[int] = None,
+) -> VerificationResult:
+    """Combinational equivalence with registers treated as cut points.
+
+    Both circuits must have the same primary inputs; registers are treated as
+    free cut-point variables (keyed by register *name*, so this is only
+    complete for circuits with the same state representation — exactly the
+    restriction the paper states for tautology checking).  Primary outputs
+    and next-state functions of same-named registers are compared.
+    """
+    start = time.perf_counter()
+    budget = Budget(seconds=time_budget)
+    try:
+        gate_a = _gate_level(a)
+        gate_b = _gate_level(b)
+        manager = BddManager(node_budget=node_budget)
+        budget.arm(manager)
+
+        if sorted(gate_a.inputs) != sorted(gate_b.inputs):
+            raise ValueError("combinational_equivalent: input mismatch")
+
+        # shared input variables; register outputs keyed by register name so
+        # that same-named registers become the same cut-point variable.
+        for name in gate_a.inputs:
+            manager.declare(name)
+        for gate in (gate_a, gate_b):
+            for reg in gate.registers.values():
+                manager.declare(f"cut.{reg.name}")
+
+        def net_functions(gate: Netlist) -> Dict[str, int]:
+            values: Dict[str, int] = {}
+            for name in gate.inputs:
+                values[name] = manager.var(name)
+            for reg in gate.registers.values():
+                values[reg.output] = manager.var(f"cut.{reg.name}")
+            from .common import _cell_bdd
+
+            for cell in gate.topological_cells():
+                budget.check()
+                values[cell.output] = _cell_bdd(manager, cell, values)
+            return values
+
+        vals_a = net_functions(gate_a)
+        vals_b = net_functions(gate_b)
+
+        mismatches = []
+        for out in gate_a.outputs:
+            if out not in gate_b.nets:
+                mismatches.append(f"output {out} missing in second circuit")
+            elif vals_a[out] != vals_b[out]:
+                mismatches.append(f"output {out}")
+        regs_a = {r.name: r for r in gate_a.registers.values()}
+        regs_b = {r.name: r for r in gate_b.registers.values()}
+        for name in sorted(set(regs_a) & set(regs_b)):
+            if vals_a[regs_a[name].input] != vals_b[regs_b[name].input]:
+                mismatches.append(f"next-state of register {name}")
+            if regs_a[name].init != regs_b[name].init:
+                mismatches.append(f"initial value of register {name}")
+        for name in sorted(set(regs_a) ^ set(regs_b)):
+            mismatches.append(f"register {name} present in only one circuit")
+
+        seconds = time.perf_counter() - start
+        if mismatches:
+            return VerificationResult(
+                method="tautology",
+                status="not_equivalent",
+                seconds=seconds,
+                peak_nodes=manager.num_nodes,
+                detail="; ".join(mismatches),
+            )
+        return VerificationResult(
+            method="tautology",
+            status="equivalent",
+            seconds=seconds,
+            peak_nodes=manager.num_nodes,
+            detail=f"all outputs and next-state functions agree "
+                   f"({manager.num_nodes} BDD nodes)",
+        )
+    except (TimeoutBudgetExceeded, BddBudgetExceeded) as exc:
+        return VerificationResult(
+            method="tautology",
+            status="timeout",
+            seconds=time.perf_counter() - start,
+            detail=str(exc),
+        )

@@ -1,0 +1,130 @@
+"""Tests for the retiming graph and the Leiserson-Saxe algorithms."""
+
+import pytest
+
+from repro.circuits.generators import counter, figure2, fractional_multiplier, shift_register
+from repro.retiming.graph import (
+    HOST,
+    RetimingGraph,
+    RetimingGraphError,
+    Edge,
+    graph_from_netlist,
+    lags_from_cut,
+)
+from repro.retiming.leiserson_saxe import (
+    RetimingInfeasible,
+    feasible_clock_period,
+    forward_retimable_cells,
+    forward_retiming_lags,
+    min_period_retiming,
+    min_register_retiming,
+)
+
+
+@pytest.fixture
+def correlator_graph():
+    """The classic Leiserson-Saxe correlator-style example.
+
+    host -> a -> b -> c -> host with a register on the feedback edge c -> a;
+    delays chosen so retiming can shorten the critical path.
+    """
+    g = RetimingGraph()
+    g.vertices = [HOST, "a", "b", "c"]
+    g.delay = {HOST: 0, "a": 3, "b": 3, "c": 7}
+    g.edges = [
+        Edge(HOST, "a", 1),
+        Edge("a", "b", 0),
+        Edge("b", "c", 0),
+        Edge("c", HOST, 0),
+    ]
+    return g
+
+
+class TestGraphModel:
+    def test_graph_from_netlist_counts_registers(self, fig2_small):
+        g = graph_from_netlist(fig2_small)
+        assert g.total_registers() >= 2
+        assert HOST in g.vertices
+        assert set(g.delay) == set(g.vertices)
+
+    def test_clock_period_of_figure2(self, fig2_small):
+        g = graph_from_netlist(fig2_small)
+        # longest register-to-register path: inc -> mux (2 cells)
+        assert g.clock_period() == 2
+
+    def test_clock_period_detects_combinational_cycle(self):
+        g = RetimingGraph()
+        g.vertices = [HOST, "a", "b"]
+        g.delay = {HOST: 0, "a": 1, "b": 1}
+        g.edges = [Edge("a", "b", 0), Edge("b", "a", 0)]
+        with pytest.raises(RetimingGraphError):
+            g.clock_period()
+
+    def test_legality_and_apply(self, correlator_graph):
+        lags = {HOST: 0, "a": 0, "b": 0, "c": 1}
+        # c -> host would get weight 0 + 0 - 1 = -1: illegal
+        assert not correlator_graph.is_legal(lags)
+        lags_ok = {HOST: 0, "a": -1, "b": 0, "c": 0}
+        # a's input edge host->a: 1 + (-1) - 0 = 0; a->b: 0 + 0 + 1 = 1: legal
+        assert correlator_graph.is_legal(lags_ok)
+        retimed = correlator_graph.apply(lags_ok)
+        assert retimed.total_registers() == correlator_graph.total_registers()
+
+    def test_apply_rejects_illegal(self, correlator_graph):
+        with pytest.raises(RetimingGraphError):
+            correlator_graph.apply({HOST: 0, "a": 0, "b": 0, "c": 1})
+
+    def test_path_matrices(self, correlator_graph):
+        W, D = correlator_graph.path_weight_matrices()
+        assert W[("a", "c")] == 0
+        assert D[("a", "c")] == 13  # 3 + 3 + 7
+        assert W[(HOST, "a")] == 1
+
+    def test_lags_from_cut(self, fig2_small):
+        lags = lags_from_cut(fig2_small, ["inc"])
+        assert lags["inc"] == -1
+        assert lags[HOST] == 0
+        with pytest.raises(RetimingGraphError):
+            lags_from_cut(fig2_small, ["ghost"])
+
+
+class TestAlgorithms:
+    def test_min_period_improves_correlator(self, correlator_graph):
+        before = correlator_graph.clock_period()
+        period, lags = min_period_retiming(correlator_graph)
+        assert period <= before
+        assert correlator_graph.is_legal(lags)
+        assert correlator_graph.apply(lags).clock_period() == period
+
+    def test_feasible_period_none_when_impossible(self, correlator_graph):
+        assert feasible_clock_period(correlator_graph, 1) is None
+
+    def test_min_period_on_netlists(self):
+        for netlist in (figure2(4), counter(4), fractional_multiplier(3)):
+            g = graph_from_netlist(netlist)
+            period, lags = min_period_retiming(g)
+            assert period <= g.clock_period()
+            assert g.is_legal(lags)
+
+    def test_min_register_retiming_never_increases(self):
+        g = graph_from_netlist(shift_register(4, width=1))
+        lags = min_register_retiming(g)
+        assert g.is_legal(lags)
+        assert sum(g.retimed_weight(e, lags) for e in g.edges) <= g.total_registers()
+
+    def test_forward_retimable_cells_graph(self, fig2_small):
+        g = graph_from_netlist(fig2_small)
+        cells = forward_retimable_cells(g)
+        assert "inc" in cells
+        assert "cmp" not in cells
+
+    def test_forward_retiming_lags(self, fig2_small):
+        g = graph_from_netlist(fig2_small)
+        lags = forward_retiming_lags(g, ["inc"])
+        assert lags["inc"] == -1
+        assert g.is_legal(lags)
+
+    def test_forward_retiming_lags_illegal(self, fig2_small):
+        g = graph_from_netlist(fig2_small)
+        with pytest.raises(RetimingInfeasible):
+            forward_retiming_lags(g, ["cmp"])
