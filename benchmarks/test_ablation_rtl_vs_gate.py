@@ -10,7 +10,6 @@ level while both runs succeed.
 
 import os
 
-import pytest
 
 from repro.circuits.bitblast import bitblast
 from repro.circuits.generators import figure2

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from ..logic.hol_types import HolType, TyVar, mk_fun_ty, mk_prod_ty
+from ..logic.hol_types import TyVar, mk_fun_ty, mk_prod_ty
 from ..logic.kernel import INST, INST_TYPE, Theorem, current_theory, new_axiom
 from ..logic.stdlib import ensure_stdlib, mk_let
 from ..logic.terms import (

@@ -27,13 +27,11 @@ is exercised heavily by the test suite.
 
 from __future__ import annotations
 
-import itertools
 import random
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..logic import stdlib
-from ..logic.ground import GroundError, value_of_term
 from ..logic.kernel import current_theory
 from ..logic.terms import Abs, Comb, Const, Term, Var
 from ..logic.theory import TheoryError

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-from .netlist import Cell, Netlist, NetlistError
+from .netlist import Cell, Netlist
 
 
 class BitblastError(Exception):

@@ -19,9 +19,9 @@ exactly one output net.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from .cells import CellError, CellType, cell_type
+from .cells import CellType, cell_type
 
 
 class NetlistError(Exception):

@@ -13,9 +13,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from .netlist import Netlist, NetlistError
+from .netlist import Netlist
 
 
 class SimulationError(Exception):

@@ -12,7 +12,7 @@ These utilities serve two consumers:
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from .netlist import Cell, Netlist, Register
 

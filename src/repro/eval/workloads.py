@@ -11,7 +11,7 @@ number of retimable gates").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..circuits.generators import figure2, iwls_circuit
 from ..circuits.generators.iwls import IWLS_BENCHMARKS, BenchmarkSpec

@@ -19,7 +19,6 @@ sure no formal step sneaks past the kernel.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 

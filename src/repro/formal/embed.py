@@ -24,13 +24,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..automata.automaton import TupleLayout, mk_automaton
-from ..circuits.cells import cell_type
 from ..circuits.netlist import Cell, Netlist
 from ..logic import stdlib
 from ..logic.ground import mk_bool, mk_numeral
 from ..logic.hol_types import HolType, bool_ty, mk_prod_ty, num_ty
 from ..logic.stdlib import mk_let, word_op
-from ..logic.terms import Abs, Comb, Term, Var, mk_fst, mk_pair, mk_snd
+from ..logic.terms import Abs, Term, Var, mk_fst, mk_pair, mk_snd
 
 
 class EmbeddingError(Exception):
@@ -182,7 +181,7 @@ def embed_netlist(
 
     pair_ty = mk_prod_ty(input_layout.type(), state_layout.type())
     p = Var(step_var_name, pair_ty)
-    input_base = mk_fst(p) if True else p
+    input_base = mk_fst(p)
     state_base = mk_snd(p)
 
     # terms available for every net

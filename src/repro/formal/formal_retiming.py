@@ -49,9 +49,19 @@ from ..logic.kernel import (
 )
 from ..logic.rules import RuleError, equal_by_normalisation
 from ..logic.stdlib import dest_let, is_let
-from ..logic.terms import Abs, Comb, Term, TermError, Var, mk_fst, mk_pair, mk_snd
+from ..logic.terms import (
+    Abs,
+    Comb,
+    Term,
+    TermError,
+    Var,
+    mk_fst,
+    mk_pair,
+    mk_snd,
+    term_intern_stats,
+)
 from ..retiming.apply import RetimingApplyError, apply_forward_retiming
-from .embed import EmbeddedCircuit, EmbeddingError, cell_term, embed_netlist, net_type
+from .embed import EmbeddedCircuit, cell_term, embed_netlist, net_type
 
 
 class FormalSynthesisError(Exception):
@@ -303,6 +313,7 @@ def formal_forward_retiming(
     """
     stats: Dict[str, float] = {}
     steps_before = inference_steps()
+    interning_before = term_intern_stats()
     t_total = time.perf_counter()
 
     # Step 0: the input circuit description (a logic term).
@@ -381,6 +392,13 @@ def formal_forward_retiming(
             ) from exc
     stats["total_seconds"] = time.perf_counter() - t_total
     stats["inference_steps"] = float(inference_steps() - steps_before)
+    interning_after = term_intern_stats()
+    stats["term_intern_hits"] = float(
+        interning_after["hits"] - interning_before["hits"]
+    )
+    stats["term_intern_misses"] = float(
+        interning_after["misses"] - interning_before["misses"]
+    )
     stats["proof_size"] = float(proof_size(theorem))
     stats["original_term_size"] = float(embedded.term.size())
     stats["retimed_term_size"] = float(retimed_term.size())

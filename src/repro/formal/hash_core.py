@@ -25,16 +25,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..circuits.netlist import Netlist
 from ..logic import conv
 from ..logic.conv import ConvError
-from ..logic.kernel import KernelError, REFL, Theorem
+from ..logic.kernel import KernelError, Theorem
 from ..logic.rules import RuleError, equal_by_normalisation, trans_chain
 from ..logic.stdlib import dest_let, is_let
 from ..logic.terms import Term, iter_subterms
-from .embed import EmbeddedCircuit, embed_netlist
+from .embed import embed_netlist
 from .formal_retiming import FormalRetimingResult, FormalSynthesisError, formal_forward_retiming
 
 
@@ -100,7 +100,8 @@ def _single_use_let_conv(t: Term):
     if not is_let(t):
         raise ConvError("not a let")
     var, _value, body = dest_let(t)
-    uses = sum(1 for sub in iter_subterms(body) if sub == var)
+    # Terms are interned, so occurrence counting is a pointer comparison.
+    uses = sum(1 for sub in iter_subterms(body) if sub is var)
     if uses > 1:
         raise ConvError("bound variable used more than once")
     return conv.LET_CONV(t)

@@ -24,11 +24,13 @@ from .hol_types import (
     bool_ty,
     dest_fun_ty,
     dest_prod_ty,
+    mk_fun,
     mk_fun_ty,
     mk_prod_ty,
     mk_tuple_ty,
     mk_vartype,
     num_ty,
+    type_intern_stats,
 )
 from .terms import (
     Abs,
@@ -52,6 +54,7 @@ from .terms import (
     mk_var,
     strip_abs,
     strip_comb,
+    term_intern_stats,
 )
 from .ground import (
     GroundError,

@@ -20,13 +20,12 @@ plus:
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 from . import stdlib
 from .kernel import (
     ABS,
     ALPHA,
-    AP_TERM,
     AP_THM,
     BETA_CONV,
     COMPUTE,
@@ -38,11 +37,10 @@ from .kernel import (
     SYM,
     TRANS,
     Theorem,
-    current_theory,
 )
+from .lazyfmt import lazy
 from .match import MatchError, term_match
-from .terms import Abs, Comb, Const, Term, Var, aconv, dest_eq, strip_comb
-from .theory import TheoryError
+from .terms import Abs, Comb, Term, Var, aconv, dest_eq, strip_comb
 
 #: The type of conversions.
 Conv = Callable[[Term], Theorem]
@@ -67,7 +65,7 @@ def ALL_CONV(t: Term) -> Theorem:
 
 def NO_CONV(t: Term) -> Theorem:
     """The conversion that always fails."""
-    raise ConvError(f"NO_CONV applied to {t}")
+    raise ConvError(lazy("NO_CONV applied to {}", t))
 
 
 def THENC(*convs: Conv) -> Conv:
@@ -95,7 +93,7 @@ def ORELSEC(*convs: Conv) -> Conv:
                 return c(t)
             except (ConvError, KernelError, MatchError) as exc:
                 last = exc
-        raise ConvError(f"ORELSEC: no conversion applied to {t}: {last}")
+        raise ConvError(lazy("ORELSEC: no conversion applied to {}: {}", t, last))
 
     return conv
 
@@ -118,7 +116,7 @@ def CHANGED_CONV(c: Conv) -> Conv:
     def conv(t: Term) -> Theorem:
         th = c(t)
         if aconv(*dest_eq(th.concl)):
-            raise ConvError(f"CHANGED_CONV: no change on {t}")
+            raise ConvError(lazy("CHANGED_CONV: no change on {}", t))
         return th
 
     return conv
@@ -128,16 +126,7 @@ def REPEATC(c: Conv, limit: int = 10_000) -> Conv:
     """Apply ``c`` repeatedly until it fails or stops changing the term."""
 
     def conv(t: Term) -> Theorem:
-        th = REFL(t)
-        current = t
-        for _ in range(limit):
-            try:
-                step = CHANGED_CONV(c)(current)
-            except (ConvError, KernelError, MatchError):
-                return th
-            th = TRANS(th, step)
-            current = dest_eq(step.concl)[1]
-        raise ConvError("REPEATC: iteration limit exceeded")
+        return _repeatc_apply(c, limit, t)
 
     return conv
 
@@ -159,7 +148,7 @@ def RAND_CONV(c: Conv) -> Conv:
 
     def conv(t: Term) -> Theorem:
         if not isinstance(t, Comb):
-            raise ConvError(f"RAND_CONV: not an application: {t}")
+            raise ConvError(lazy("RAND_CONV: not an application: {}", t))
         return MK_COMB(REFL(t.rator), c(t.rand))
 
     return conv
@@ -170,7 +159,7 @@ def RATOR_CONV(c: Conv) -> Conv:
 
     def conv(t: Term) -> Theorem:
         if not isinstance(t, Comb):
-            raise ConvError(f"RATOR_CONV: not an application: {t}")
+            raise ConvError(lazy("RATOR_CONV: not an application: {}", t))
         return MK_COMB(c(t.rator), REFL(t.rand))
 
     return conv
@@ -186,7 +175,7 @@ def ABS_CONV(c: Conv) -> Conv:
 
     def conv(t: Term) -> Theorem:
         if not isinstance(t, Abs):
-            raise ConvError(f"ABS_CONV: not an abstraction: {t}")
+            raise ConvError(lazy("ABS_CONV: not an abstraction: {}", t))
         return ABS(t.bvar, c(t.body))
 
     return conv
@@ -197,7 +186,7 @@ def COMB_CONV(c: Conv) -> Conv:
 
     def conv(t: Term) -> Theorem:
         if not isinstance(t, Comb):
-            raise ConvError(f"COMB_CONV: not an application: {t}")
+            raise ConvError(lazy("COMB_CONV: not an application: {}", t))
         return MK_COMB(c(t.rator), c(t.rand))
 
     return conv
@@ -216,32 +205,148 @@ def SUB_CONV(c: Conv) -> Conv:
     return conv
 
 
+#: frame opcodes for the explicit-stack traversal engines below
+_VISIT, _COMB_FRAME, _ABS_FRAME = 0, 1, 2
+
+
+def _repeatc_apply(c: Conv, limit: int, t: Term) -> Theorem:
+    """The body of ``REPEATC(c, limit)`` as a plain function call."""
+    th = REFL(t)
+    current = t
+    for _ in range(limit):
+        try:
+            step = c(current)
+        except (ConvError, KernelError, MatchError):
+            return th
+        if aconv(*dest_eq(step.concl)):
+            return th
+        th = TRANS(th, step)
+        current = dest_eq(step.concl)[1]
+    raise ConvError("REPEATC: iteration limit exceeded")
+
+
 def DEPTH_CONV(c: Conv, limit: int = 100_000) -> Conv:
-    """Apply ``c`` repeatedly to all subterms, bottom-up."""
+    """Apply ``c`` repeatedly to all subterms, bottom-up.
+
+    Equivalent to the classic ``THENC(SUB_CONV(conv), REPEATC(c))``
+    recursion, but driven by an explicit work stack so term depth is not
+    bounded by the Python recursion limit.  The kernel calls performed (and
+    hence the inference-step count) are the same as for the recursive
+    formulation.
+    """
+
+    def finish(tm: Term, sub_th: Theorem) -> Theorem:
+        th = TRANS(REFL(tm), sub_th)
+        current = dest_eq(sub_th.concl)[1]
+        return TRANS(th, _repeatc_apply(c, limit, current))
 
     def conv(t: Term) -> Theorem:
-        return THENC(SUB_CONV(conv), REPEATC(c, limit))(t)
+        out: list = []
+        stack: list = [(_VISIT, t)]
+        while stack:
+            op, tm = stack.pop()
+            if op == _VISIT:
+                if isinstance(tm, Comb):
+                    stack.append((_COMB_FRAME, tm))
+                    stack.append((_VISIT, tm.rand))
+                    stack.append((_VISIT, tm.rator))
+                elif isinstance(tm, Abs):
+                    stack.append((_ABS_FRAME, tm))
+                    stack.append((_VISIT, tm.body))
+                else:
+                    out.append(finish(tm, REFL(tm)))
+                continue
+            if op == _COMB_FRAME:
+                th_rand = out.pop()
+                th_rator = out.pop()
+                out.append(finish(tm, MK_COMB(th_rator, th_rand)))
+                continue
+            out.append(finish(tm, ABS(tm.bvar, out.pop())))
+        return out[0]
 
     return conv
 
 
 def ONCE_DEPTH_CONV(c: Conv) -> Conv:
-    """Apply ``c`` once to the outermost applicable subterms (top-down)."""
+    """Apply ``c`` once to the outermost applicable subterms (top-down).
+
+    Iterative (explicit stack); performs the same kernel calls as the
+    recursive ``ORELSEC(c, SUB_CONV(conv))`` formulation.
+    """
 
     def conv(t: Term) -> Theorem:
-        try:
-            return c(t)
-        except (ConvError, KernelError, MatchError):
-            return SUB_CONV(conv)(t)
+        out: list = []
+        stack: list = [(_VISIT, t)]
+        while stack:
+            op, tm = stack.pop()
+            if op == _VISIT:
+                try:
+                    out.append(c(tm))
+                    continue
+                except (ConvError, KernelError, MatchError):
+                    pass
+                if isinstance(tm, Comb):
+                    stack.append((_COMB_FRAME, tm))
+                    stack.append((_VISIT, tm.rand))
+                    stack.append((_VISIT, tm.rator))
+                elif isinstance(tm, Abs):
+                    stack.append((_ABS_FRAME, tm))
+                    stack.append((_VISIT, tm.body))
+                else:
+                    out.append(REFL(tm))
+                continue
+            if op == _COMB_FRAME:
+                th_rand = out.pop()
+                th_rator = out.pop()
+                out.append(MK_COMB(th_rator, th_rand))
+                continue
+            out.append(ABS(tm.bvar, out.pop()))
+        return out[0]
 
     return conv
 
 
 def TOP_DEPTH_CONV(c: Conv, limit: int = 100_000) -> Conv:
-    """Repeatedly apply ``c`` anywhere until no further change occurs."""
+    """Repeatedly apply ``c`` anywhere until no further change occurs.
+
+    Each single pass applies ``REPEATC(c)`` at a node and then descends into
+    the *result*'s subterms (the classic ``THENC(REPEATC(c),
+    SUB_CONV(single_pass))``); passes repeat at the top until the term stops
+    changing.  The traversal is iterative so ``let``-chain depth (one node
+    per gate in a bit-blasted circuit) is not bounded by the Python recursion
+    limit.
+    """
 
     def single_pass(t: Term) -> Theorem:
-        return THENC(REPEATC(c, limit), SUB_CONV(single_pass))(t)
+        out: list = []
+        stack: list = [(_VISIT, t, None)]
+        while stack:
+            frame = stack.pop()
+            op = frame[0]
+            if op == _VISIT:
+                tm = frame[1]
+                rep = _repeatc_apply(c, limit, tm)
+                pre = TRANS(REFL(tm), rep)
+                mid = dest_eq(rep.concl)[1]
+                if isinstance(mid, Comb):
+                    stack.append((_COMB_FRAME, pre, mid))
+                    stack.append((_VISIT, mid.rand, None))
+                    stack.append((_VISIT, mid.rator, None))
+                elif isinstance(mid, Abs):
+                    stack.append((_ABS_FRAME, pre, mid))
+                    stack.append((_VISIT, mid.body, None))
+                else:
+                    out.append(TRANS(pre, REFL(mid)))
+                continue
+            if op == _COMB_FRAME:
+                _, pre, mid = frame
+                th_rand = out.pop()
+                th_rator = out.pop()
+                out.append(TRANS(pre, MK_COMB(th_rator, th_rand)))
+                continue
+            _, pre, mid = frame
+            out.append(TRANS(pre, ABS(mid.bvar, out.pop())))
+        return out[0]
 
     def conv(t: Term) -> Theorem:
         th = single_pass(t)
@@ -278,7 +383,7 @@ def REWR_CONV(th: Theorem, fixed_vars: Iterable[Var] = ()) -> Conv:
         try:
             term_env, type_env = term_match(pattern, t, avoid=fixed)
         except MatchError as exc:
-            raise ConvError(f"REWR_CONV: {exc}") from exc
+            raise ConvError(lazy("REWR_CONV: {}", exc)) from exc
         out = th
         if type_env:
             out = INST_TYPE(type_env, out)
@@ -291,7 +396,7 @@ def REWR_CONV(th: Theorem, fixed_vars: Iterable[Var] = ()) -> Conv:
         # The instantiated lhs may differ from t only up to alpha.
         if not aconv(out.lhs, t):
             raise ConvError(
-                f"REWR_CONV: instantiated lhs {out.lhs} is not the target {t}"
+                lazy("REWR_CONV: instantiated lhs {} is not the target {}", out.lhs, t)
             )
         if out.lhs != t:
             out = TRANS(ALPHA(t, out.lhs), out)
@@ -330,7 +435,7 @@ def LET_CONV(t: Term) -> Theorem:
         and isinstance(t.rator, Comb)
         and t.rator.rator.is_const("LET")
     ):
-        raise ConvError(f"LET_CONV: not a LET redex: {t}")
+        raise ConvError(lazy("LET_CONV: not a LET redex: {}", t))
     let_def = stdlib.let_def_instance(t.rator.rator.ty)
     # |- LET f e = f e  specialised to this type; rewrite then beta-reduce.
     step1 = AP_THM(AP_THM(let_def, t.rator.rand), t.rand)
@@ -360,23 +465,28 @@ def _reduce_applied_lambda(t: Term) -> Theorem:
 
 def _beta_head_once(t: Term) -> Theorem:
     """Beta-reduce the innermost redex on the application spine of ``t``."""
-    if isinstance(t, Comb):
-        if isinstance(t.rator, Abs):
-            return BETA_CONV(t)
-        inner = _beta_head_once(t.rator)
-        return MK_COMB(inner, REFL(t.rand))
-    raise ConvError(f"_beta_head_once: no redex in {t}")
+    rands = []
+    cur = t
+    while isinstance(cur, Comb) and not isinstance(cur.rator, Abs):
+        rands.append(cur.rand)
+        cur = cur.rator
+    if not (isinstance(cur, Comb) and isinstance(cur.rator, Abs)):
+        raise ConvError(lazy("_beta_head_once: no redex in {}", cur))
+    th = BETA_CONV(cur)
+    for rand in reversed(rands):
+        th = MK_COMB(th, REFL(rand))
+    return th
 
 
 def FST_CONV(t: Term) -> Theorem:
     """``|- FST (a, b) = a``."""
     if not (isinstance(t, Comb) and t.rator.is_const("FST")):
-        raise ConvError(f"FST_CONV: not a FST application: {t}")
+        raise ConvError(lazy("FST_CONV: not a FST application: {}", t))
     pair = t.rand
     from .terms import dest_pair, is_pair
 
     if not is_pair(pair):
-        raise ConvError(f"FST_CONV: argument is not a pair literal: {pair}")
+        raise ConvError(lazy("FST_CONV: argument is not a pair literal: {}", pair))
     a, b = dest_pair(pair)
     return REWR_CONV(stdlib.fst_pair_theorem())(t)
 
@@ -384,11 +494,11 @@ def FST_CONV(t: Term) -> Theorem:
 def SND_CONV(t: Term) -> Theorem:
     """``|- SND (a, b) = b``."""
     if not (isinstance(t, Comb) and t.rator.is_const("SND")):
-        raise ConvError(f"SND_CONV: not a SND application: {t}")
+        raise ConvError(lazy("SND_CONV: not a SND application: {}", t))
     from .terms import is_pair
 
     if not is_pair(t.rand):
-        raise ConvError(f"SND_CONV: argument is not a pair literal: {t.rand}")
+        raise ConvError(lazy("SND_CONV: argument is not a pair literal: {}", t.rand))
     return REWR_CONV(stdlib.snd_pair_theorem())(t)
 
 
@@ -408,7 +518,7 @@ def COMPUTE_CONV(t: Term) -> Theorem:
     try:
         return COMPUTE(t)
     except KernelError as exc:
-        raise ConvError(str(exc)) from exc
+        raise ConvError(lazy("{}", exc)) from exc
 
 
 def EVAL_CONV(t: Term) -> Theorem:

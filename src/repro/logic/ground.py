@@ -16,7 +16,8 @@ from __future__ import annotations
 from typing import Any, Tuple
 
 from .hol_types import HolType, bool_ty, mk_prod_ty, num_ty
-from .terms import Comb, Const, Term, dest_pair, is_pair
+from .lazyfmt import lazy
+from .terms import Const, Term, dest_pair, is_pair
 
 
 class GroundError(Exception):
@@ -42,7 +43,7 @@ def is_numeral(t: Term) -> bool:
 
 def dest_numeral(t: Term) -> int:
     if not is_numeral(t):
-        raise GroundError(f"not a numeral: {t}")
+        raise GroundError(lazy("not a numeral: {}", t))
     return int(t.name)
 
 
@@ -56,7 +57,7 @@ def is_bool_literal(t: Term) -> bool:
 
 def dest_bool_literal(t: Term) -> bool:
     if not is_bool_literal(t):
-        raise GroundError(f"not a boolean literal: {t}")
+        raise GroundError(lazy("not a boolean literal: {}", t))
     return t.name == "T"
 
 
@@ -105,7 +106,7 @@ def value_of_term(t: Term) -> Any:
         if isinstance(right, tuple):
             return (left,) + right
         return (left, right)
-    raise GroundError(f"not a ground value term: {t}")
+    raise GroundError(lazy("not a ground value term: {}", t))
 
 
 def is_ground(t: Term) -> bool:

@@ -7,19 +7,47 @@ operators ``bool``, ``fun`` (written ``a -> b``), ``prod`` (written
 ``a # b``) and ``num``; theories may register further operators through
 :class:`repro.logic.theory.Theory`.
 
-Types are immutable and hashable so they can be freely shared and used as
-dictionary keys (instantiation environments, matching substitutions).
+Types are immutable and **hash-consed**: the constructors intern every type
+in a global weak table, so structurally equal types are pointer-identical.
+Equality is therefore an ``is`` check and hashing returns a value stored at
+construction time — both O(1) regardless of how deeply nested the type is.
+Every traversal in this module (substitution, matching, rendering) uses an
+explicit work stack, so arbitrarily deep types (the nested product types of
+large bit-blasted state tuples) never hit the Python recursion limit.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, Sequence, Set, Tuple
+from weakref import WeakValueDictionary
+
+from .lazyfmt import lazy
+
+#: Global intern table mapping structural keys to the unique live instance.
+_intern_table: "WeakValueDictionary" = WeakValueDictionary()
+
+#: Hit/miss counters for the intern table (observable via
+#: :func:`type_intern_stats`; used by tests and benchmarks).
+_intern_hits = 0
+_intern_misses = 0
+
+
+def type_intern_stats() -> Dict[str, int]:
+    """Counters of the type intern table: hits, misses and live entries."""
+    return {
+        "hits": _intern_hits,
+        "misses": _intern_misses,
+        "live": len(_intern_table),
+    }
+
+
+_EMPTY_TVS: frozenset = frozenset()
 
 
 class HolType:
-    """Base class of HOL types.  Instances are immutable."""
+    """Base class of HOL types.  Instances are immutable and interned."""
 
-    __slots__ = ()
+    __slots__ = ("__weakref__",)
 
     # -- structure ---------------------------------------------------------
     def is_vartype(self) -> bool:
@@ -64,9 +92,7 @@ class HolType:
     # -- traversal ---------------------------------------------------------
     def type_vars(self) -> Set["TyVar"]:
         """The set of type variables occurring in this type."""
-        out: Set[TyVar] = set()
-        _collect_tyvars(self, out)
-        return out
+        return set(self._tvs)  # type: ignore[attr-defined]
 
     def subst(self, env: Dict["TyVar", "HolType"]) -> "HolType":
         """Apply a type-variable substitution to this type."""
@@ -79,19 +105,32 @@ class HolType:
 class TyVar(HolType):
     """A type variable, e.g. ``'a``."""
 
-    __slots__ = ("name", "_hash")
+    __slots__ = ("name", "_hash", "_tvs")
 
-    def __init__(self, name: str):
+    def __new__(cls, name: str):
+        global _intern_hits, _intern_misses
         if not name:
             raise ValueError("type variable needs a non-empty name")
+        key = ("TyVar", name)
+        cached = _intern_table.get(key)
+        if cached is not None:
+            _intern_hits += 1
+            return cached
+        _intern_misses += 1
+        self = object.__new__(cls)
         object.__setattr__(self, "name", name)
-        object.__setattr__(self, "_hash", hash(("TyVar", name)))
+        object.__setattr__(self, "_hash", hash(key))
+        object.__setattr__(self, "_tvs", frozenset((self,)))
+        return _intern_table.setdefault(key, self)
 
     def __setattr__(self, key, value):  # pragma: no cover - immutability
         raise AttributeError("HolType instances are immutable")
 
     def __eq__(self, other) -> bool:
-        return isinstance(other, TyVar) and other.name == self.name
+        return self is other
+
+    def __ne__(self, other) -> bool:
+        return self is not other
 
     def __hash__(self) -> int:
         return self._hash
@@ -103,46 +142,86 @@ class TyVar(HolType):
 class TyApp(HolType):
     """Application of a type operator, e.g. ``bool`` or ``num -> bool``."""
 
-    __slots__ = ("op", "args", "_hash")
+    __slots__ = ("op", "args", "_hash", "_tvs")
 
-    def __init__(self, op: str, args: Sequence[HolType] = ()):
+    def __new__(cls, op: str, args: Sequence[HolType] = ()):
+        global _intern_hits, _intern_misses
         if not op:
             raise ValueError("type operator needs a non-empty name")
         args = tuple(args)
+        key = ("TyApp", op, args)
+        cached = _intern_table.get(key)
+        if cached is not None:
+            _intern_hits += 1
+            return cached
         for a in args:
             if not isinstance(a, HolType):
                 raise TypeError(f"type argument is not a HolType: {a!r}")
+        _intern_misses += 1
+        self = object.__new__(cls)
         object.__setattr__(self, "op", op)
         object.__setattr__(self, "args", args)
-        object.__setattr__(self, "_hash", hash(("TyApp", op, args)))
+        object.__setattr__(self, "_hash", hash(key))
+        if args:
+            tvs = args[0]._tvs
+            for a in args[1:]:
+                if a._tvs:
+                    tvs = tvs | a._tvs
+        else:
+            tvs = _EMPTY_TVS
+        object.__setattr__(self, "_tvs", tvs)
+        return _intern_table.setdefault(key, self)
 
     def __setattr__(self, key, value):  # pragma: no cover - immutability
         raise AttributeError("HolType instances are immutable")
 
     def __eq__(self, other) -> bool:
-        return (
-            isinstance(other, TyApp)
-            and other.op == self.op
-            and other.args == self.args
-        )
+        return self is other
+
+    def __ne__(self, other) -> bool:
+        return self is not other
 
     def __hash__(self) -> int:
         return self._hash
 
     def __str__(self) -> str:
-        if self.op == "fun":
-            dom, cod = self.args
-            dom_s = f"({dom})" if dom.is_fun() else str(dom)
-            return f"{dom_s} -> {cod}"
-        if self.op == "prod":
-            fst, snd = self.args
-            fst_s = f"({fst})" if fst.is_fun() or fst.is_prod() else str(fst)
-            snd_s = f"({snd})" if snd.is_fun() else str(snd)
-            return f"{fst_s} # {snd_s}"
-        if not self.args:
-            return self.op
-        inner = ", ".join(str(a) for a in self.args)
-        return f"({inner}){self.op}"
+        return _type_to_str(self)
+
+
+def _type_to_str(ty: HolType) -> str:
+    """Render a type with an explicit stack (deep types never recurse)."""
+    memo: Dict[HolType, str] = {}
+    stack = [ty]
+    while stack:
+        t = stack[-1]
+        if t in memo:
+            stack.pop()
+            continue
+        if isinstance(t, TyVar):
+            memo[t] = str(t)
+            stack.pop()
+            continue
+        assert isinstance(t, TyApp)
+        pending = [a for a in t.args if a not in memo]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        if t.op == "fun":
+            dom, cod = t.args
+            dom_s = f"({memo[dom]})" if dom.is_fun() else memo[dom]
+            memo[t] = f"{dom_s} -> {memo[cod]}"
+        elif t.op == "prod":
+            fst, snd = t.args
+            fst_s = f"({memo[fst]})" if fst.is_fun() or fst.is_prod() else memo[fst]
+            snd_s = f"({memo[snd]})" if snd.is_fun() else memo[snd]
+            memo[t] = f"{fst_s} # {snd_s}"
+        elif not t.args:
+            memo[t] = t.op
+        else:
+            inner = ", ".join(memo[a] for a in t.args)
+            memo[t] = f"({inner}){t.op}"
+    return memo[ty]
 
 
 # ---------------------------------------------------------------------------
@@ -157,8 +236,12 @@ num_ty = TyApp("num")
 
 
 def mk_fun_ty(dom: HolType, cod: HolType) -> HolType:
-    """Build the function type ``dom -> cod``."""
+    """Build (or fetch the interned) function type ``dom -> cod``."""
     return TyApp("fun", (dom, cod))
+
+
+#: Short alias used by the interning tests: ``mk_fun(a, b) is mk_fun(a, b)``.
+mk_fun = mk_fun_ty
 
 
 def mk_prod_ty(fst: HolType, snd: HolType) -> HolType:
@@ -223,24 +306,33 @@ def flatten_prod_ty(ty: HolType) -> Tuple[HolType, ...]:
 # Traversal helpers
 # ---------------------------------------------------------------------------
 
-def _collect_tyvars(ty: HolType, out: Set[TyVar]) -> None:
-    if isinstance(ty, TyVar):
-        out.add(ty)
-    elif isinstance(ty, TyApp):
-        for a in ty.args:
-            _collect_tyvars(a, out)
-
-
 def _type_subst(ty: HolType, env: Dict[TyVar, HolType]) -> HolType:
-    if isinstance(ty, TyVar):
-        return env.get(ty, ty)
-    assert isinstance(ty, TyApp)
-    if not ty.args:
+    if not env or ty._tvs.isdisjoint(env):  # type: ignore[attr-defined]
         return ty
-    new_args = tuple(_type_subst(a, env) for a in ty.args)
-    if new_args == ty.args:
-        return ty
-    return TyApp(ty.op, new_args)
+    memo: Dict[HolType, HolType] = {}
+    stack = [ty]
+    while stack:
+        t = stack[-1]
+        if t in memo:
+            stack.pop()
+            continue
+        if isinstance(t, TyVar):
+            memo[t] = env.get(t, t)
+            stack.pop()
+            continue
+        assert isinstance(t, TyApp)
+        if t._tvs.isdisjoint(env):
+            memo[t] = t
+            stack.pop()
+            continue
+        pending = [a for a in t.args if a not in memo]
+        if pending:
+            stack.extend(pending)
+            continue
+        new_args = tuple(memo[a] for a in t.args)
+        memo[t] = t if new_args == t.args else TyApp(t.op, new_args)
+        stack.pop()
+    return memo[ty]
 
 
 def type_subst(env: Dict[TyVar, HolType], ty: HolType) -> HolType:
@@ -267,35 +359,39 @@ class TypeMatchError(Exception):
 
 
 def _type_match(pattern: HolType, target: HolType, env: Dict[TyVar, HolType]) -> None:
-    if isinstance(pattern, TyVar):
-        bound = env.get(pattern)
-        if bound is None:
-            env[pattern] = target
-        elif bound != target:
-            raise TypeMatchError(
-                f"type variable {pattern} matched against both {bound} and {target}"
-            )
-        return
-    assert isinstance(pattern, TyApp)
-    if not isinstance(target, TyApp) or target.op != pattern.op or len(
-        target.args
-    ) != len(pattern.args):
-        raise TypeMatchError(f"cannot match {pattern} against {target}")
-    for p, t in zip(pattern.args, target.args):
-        _type_match(p, t, env)
+    stack = [(pattern, target)]
+    while stack:
+        p, t = stack.pop()
+        if p is t and not p._tvs:  # type: ignore[attr-defined]
+            continue
+        if isinstance(p, TyVar):
+            bound = env.get(p)
+            if bound is None:
+                env[p] = t
+            elif bound is not t:
+                raise TypeMatchError(
+                    lazy("type variable {} matched against both {} and {}", p, bound, t)
+                )
+            continue
+        assert isinstance(p, TyApp)
+        if not isinstance(t, TyApp) or t.op != p.op or len(t.args) != len(p.args):
+            raise TypeMatchError(lazy("cannot match {} against {}", p, t))
+        stack.extend(reversed(list(zip(p.args, t.args))))
 
 
 def iter_subtypes(ty: HolType) -> Iterator[HolType]:
     """Iterate over all subtypes of ``ty`` (including ``ty`` itself)."""
-    yield ty
-    if isinstance(ty, TyApp):
-        for a in ty.args:
-            yield from iter_subtypes(a)
+    stack = [ty]
+    while stack:
+        t = stack.pop()
+        yield t
+        if isinstance(t, TyApp):
+            stack.extend(reversed(t.args))
 
 
 def occurs_in(tv: TyVar, ty: HolType) -> bool:
     """``True`` if the type variable ``tv`` occurs in ``ty``."""
-    return any(sub == tv for sub in iter_subtypes(ty))
+    return tv in ty._tvs  # type: ignore[attr-defined]
 
 
 def fresh_tyvar(avoid: Iterable[TyVar], base: str = "a") -> TyVar:

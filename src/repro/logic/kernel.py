@@ -34,9 +34,10 @@ always be audited (see :func:`trusted_base_report`).
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, Optional, Tuple
 
 from .ground import GroundError, term_of_value, value_of_term
+from .lazyfmt import lazy
 from .hol_types import HolType, TyVar, bool_ty
 from .printer import theorem_to_string
 from .terms import (
@@ -249,7 +250,7 @@ def BETA_CONV(t: Term) -> Theorem:
     """``|- (\\x. b) a = b[a/x]`` for a top-level beta redex ``t``."""
     _count_step()
     if not (isinstance(t, Comb) and isinstance(t.rator, Abs)):
-        raise KernelError(f"BETA_CONV: not a beta redex: {t}")
+        raise KernelError(lazy("BETA_CONV: not a beta redex: {}", t))
     reduced = beta_reduce_step(t)
     return _mk_thm((), mk_eq(t, reduced), "BETA_CONV")
 
@@ -258,7 +259,7 @@ def ASSUME(t: Term) -> Theorem:
     """``{t} |- t`` for a boolean term ``t``."""
     _count_step()
     if t.ty != bool_ty:
-        raise KernelError(f"ASSUME: term must be boolean, has type {t.ty}")
+        raise KernelError(lazy("ASSUME: term must be boolean, has type {}", t.ty))
     return _mk_thm((t,), t, "ASSUME")
 
 
@@ -393,21 +394,22 @@ def COMPUTE(t: Term, theory: Optional[Theory] = None) -> Theorem:
     thy = theory or current_theory()
     head, args = strip_comb(t)
     if not isinstance(head, Const):
-        raise KernelError(f"COMPUTE: head is not a constant: {t}")
+        raise KernelError(lazy("COMPUTE: head is not a constant: {}", t))
     try:
         info = thy.constant_info(head.name)
     except TheoryError as exc:
         raise KernelError(str(exc)) from exc
     if info.compute is None:
-        raise KernelError(f"COMPUTE: constant {head.name} has no computation rule")
+        raise KernelError(lazy("COMPUTE: constant {} has no computation rule", head.name))
     if len(args) != info.compute_arity:
         raise KernelError(
-            f"COMPUTE: {head.name} expects {info.compute_arity} arguments, got {len(args)}"
+            lazy("COMPUTE: {} expects {} arguments, got {}",
+                 head.name, info.compute_arity, len(args))
         )
     try:
         values = [value_of_term(a) for a in args]
     except GroundError as exc:
-        raise KernelError(f"COMPUTE: argument is not ground: {exc}") from exc
+        raise KernelError(lazy("COMPUTE: argument is not ground: {}", exc)) from exc
     result = info.compute(*values)
     try:
         result_term = term_of_value(result)
@@ -438,16 +440,19 @@ def trusted_base_report(theory: Optional[Theory] = None) -> str:
 
 
 def proof_size(th: Theorem) -> int:
-    """Number of distinct theorems in the derivation DAG of ``th``."""
-    seen = set()
+    """Number of distinct theorems in the derivation DAG of ``th``.
 
-    def walk(t: Theorem) -> None:
+    Iterative: derivation DAGs of long ``TRANS`` chains (one link per
+    synthesis step) are far deeper than the Python recursion limit.
+    """
+    seen = set()
+    stack = [th]
+    while stack:
+        t = stack.pop()
         if id(t) in seen:
-            return
+            continue
         seen.add(id(t))
         for dep in t.deps:
             if isinstance(dep, Theorem):
-                walk(dep)
-
-    walk(th)
+                stack.append(dep)
     return len(seen)

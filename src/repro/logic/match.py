@@ -18,7 +18,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Set, Tuple
 
-from .hol_types import HolType, TyVar, TypeMatchError, type_match, type_subst
+from .hol_types import HolType, TyVar, TypeMatchError, type_match
+from .lazyfmt import lazy
 from .terms import Abs, Comb, Const, Term, Var, aconv, inst_type, var_subst
 
 
@@ -58,69 +59,76 @@ def _match(
     pbound: Dict[Var, int],
     tbound: Dict[Var, int],
 ) -> None:
-    if isinstance(pattern, Var):
-        if pattern in pbound:
-            # A bound variable of the pattern must map to the corresponding
-            # bound variable of the target.
-            if not (isinstance(target, Var) and tbound.get(target) == pbound[pattern]):
+    # Iterative worklist traversal (left-to-right, like the natural
+    # recursion); binder maps are copied per abstraction only.
+    stack = [(pattern, target, pbound, tbound)]
+    while stack:
+        p, t, pb, tb = stack.pop()
+        if isinstance(p, Var):
+            if p in pb:
+                # A bound variable of the pattern must map to the
+                # corresponding bound variable of the target.
+                if not (isinstance(t, Var) and tb.get(t) == pb[p]):
+                    raise MatchError(
+                        lazy("bound variable {} does not correspond to {}", p.name, t)
+                    )
+                continue
+            if p in fixed:
+                if not (isinstance(t, Var) and t is p):
+                    raise MatchError(
+                        f"fixed variable {p.name} cannot be instantiated"
+                    )
+                continue
+            # Pattern variable: bind (or check) it.  First make the types agree.
+            try:
+                tyenv.update(type_match(p.ty, t.ty, tyenv))
+            except TypeMatchError as exc:
+                raise MatchError(lazy("{}", exc)) from exc
+            # The instantiation must not capture bound variables of the target.
+            for fv in t.free_vars():
+                if fv in tb:
+                    raise MatchError(
+                        f"instantiation of {p.name} would capture bound "
+                        f"variable {fv.name}"
+                    )
+            existing = tenv.get(p)
+            if existing is None:
+                tenv[p] = t
+            elif not aconv(existing, t):
                 raise MatchError(
-                    f"bound variable {pattern.name} does not correspond to {target}"
+                    f"pattern variable {p.name} matched against two different terms"
                 )
-            return
-        if pattern in fixed:
-            if not (isinstance(target, Var) and target == pattern):
-                raise MatchError(f"fixed variable {pattern.name} cannot be instantiated")
-            return
-        # Pattern variable: bind (or check) it.  First make the types agree.
+            continue
+
+        if isinstance(p, Const):
+            if not (isinstance(t, Const) and t.name == p.name):
+                raise MatchError(lazy("constant {} does not match {}", p.name, t))
+            try:
+                tyenv.update(type_match(p.ty, t.ty, tyenv))
+            except TypeMatchError as exc:
+                raise MatchError(lazy("{}", exc)) from exc
+            continue
+
+        if isinstance(p, Comb):
+            if not isinstance(t, Comb):
+                raise MatchError(lazy("application pattern does not match {}", t))
+            stack.append((p.rand, t.rand, pb, tb))
+            stack.append((p.rator, t.rator, pb, tb))
+            continue
+
+        assert isinstance(p, Abs)
+        if not isinstance(t, Abs):
+            raise MatchError(lazy("abstraction pattern does not match {}", t))
         try:
-            type_match(pattern.ty, target.ty, tyenv)
-            tyenv.update(type_match(pattern.ty, target.ty, tyenv))
+            tyenv.update(type_match(p.bvar.ty, t.bvar.ty, tyenv))
         except TypeMatchError as exc:
-            raise MatchError(str(exc)) from exc
-        # The instantiation must not capture bound variables of the target.
-        for fv in target.free_vars():
-            if fv in tbound:
-                raise MatchError(
-                    f"instantiation of {pattern.name} would capture bound variable {fv.name}"
-                )
-        existing = tenv.get(pattern)
-        if existing is None:
-            tenv[pattern] = target
-        elif not aconv(existing, target):
-            raise MatchError(
-                f"pattern variable {pattern.name} matched against two different terms"
-            )
-        return
-
-    if isinstance(pattern, Const):
-        if not (isinstance(target, Const) and target.name == pattern.name):
-            raise MatchError(f"constant {pattern.name} does not match {target}")
-        try:
-            tyenv.update(type_match(pattern.ty, target.ty, tyenv))
-        except TypeMatchError as exc:
-            raise MatchError(str(exc)) from exc
-        return
-
-    if isinstance(pattern, Comb):
-        if not isinstance(target, Comb):
-            raise MatchError(f"application pattern does not match {target}")
-        _match(pattern.rator, target.rator, tenv, tyenv, fixed, pbound, tbound)
-        _match(pattern.rand, target.rand, tenv, tyenv, fixed, pbound, tbound)
-        return
-
-    assert isinstance(pattern, Abs)
-    if not isinstance(target, Abs):
-        raise MatchError(f"abstraction pattern does not match {target}")
-    try:
-        tyenv.update(type_match(pattern.bvar.ty, target.bvar.ty, tyenv))
-    except TypeMatchError as exc:
-        raise MatchError(str(exc)) from exc
-    depth = len(pbound)
-    new_pbound = dict(pbound)
-    new_tbound = dict(tbound)
-    new_pbound[pattern.bvar] = depth
-    new_tbound[target.bvar] = depth
-    _match(pattern.body, target.body, tenv, tyenv, fixed, new_pbound, new_tbound)
+            raise MatchError(lazy("{}", exc)) from exc
+        depth = len(pb)
+        new_pbound = dict(pb)
+        new_tbound = dict(tb)
+        new_pbound[p.bvar] = depth
+        new_tbound[t.bvar] = depth
+        stack.append((p.body, t.body, new_pbound, new_tbound))
 
 
 def apply_substitution(subst: Substitution, t: Term) -> Term:

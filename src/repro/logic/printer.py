@@ -8,12 +8,15 @@ The printer produces a compact, HOL-style concrete syntax:
 * numerals print as decimal literals,
 * everything else prints as curried application.
 
-The printer is purely cosmetic: no proof step depends on it.
+The printer is purely cosmetic: no proof step depends on it.  It walks the
+term with an explicit stack and memoises rendered fragments per interned
+``(subterm, precedence)`` pair, so arbitrarily deep terms (gate-level ``let``
+chains) can be rendered at the default recursion limit.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional, Tuple
 
 from . import terms as tm
 
@@ -31,23 +34,19 @@ _INFIX = {
 
 _QUANTIFIERS = {"!": "!", "?": "?", "?!": "?!"}
 
+#: A rendering task: the list of ``(subterm, precedence)`` fragments it needs,
+#: plus a tag and any extra data the assembly step requires.
+_Deps = List[Tuple["tm.Term", int]]
 
-def term_to_string(t: "tm.Term") -> str:
-    """Render a term as a string."""
-    return _print(t, 0)
 
-
-def _print(t: "tm.Term", prec: int) -> str:
-    if isinstance(t, tm.Var):
-        return t.name
-    if isinstance(t, tm.Const):
-        return t.name
+def _layout(t: "tm.Term", prec: int) -> Tuple[str, _Deps, tuple]:
+    """Classify ``t`` and list the sub-fragments its rendering needs."""
+    if isinstance(t, (tm.Var, tm.Const)):
+        return "atom", [], (t.name,)
     if isinstance(t, tm.Abs):
         vars_, body = tm.strip_abs(t)
         names = " ".join(v.name for v in vars_)
-        s = f"\\{names}. {_print(body, 0)}"
-        return f"({s})" if prec > 0 else s
-    assert isinstance(t, tm.Comb)
+        return "abs", [(body, 0)], (names,)
 
     # let x = e in body, encoded as LET (\x. body) e
     if (
@@ -56,8 +55,7 @@ def _print(t: "tm.Term", prec: int) -> str:
         and isinstance(t.rator.rand, tm.Abs)
     ):
         ab = t.rator.rand
-        s = f"let {ab.bvar.name} = {_print(t.rand, 0)} in {_print(ab.body, 0)}"
-        return f"({s})" if prec > 0 else s
+        return "let", [(t.rand, 0), (ab.body, 0)], (ab.bvar.name,)
 
     # quantifiers: ! (\x. body)
     head, args = tm.strip_comb(t)
@@ -69,28 +67,72 @@ def _print(t: "tm.Term", prec: int) -> str:
     ):
         vars_, body = tm.strip_abs(args[0])
         names = " ".join(v.name for v in vars_)
-        s = f"{_QUANTIFIERS[head.name]}{names}. {_print(body, 0)}"
-        return f"({s})" if prec > 0 else s
+        return "quant", [(body, 0)], (_QUANTIFIERS[head.name], names)
 
     # negation
     if head.is_const("~") and len(args) == 1:
-        return f"~{_print(args[0], 99)}"
+        return "neg", [(args[0], 99)], ()
 
     # infix binary operators
     if isinstance(head, tm.Const) and head.name in _INFIX and len(args) == 2:
         sym, p = _INFIX[head.name]
-        left = _print(args[0], p + 1)
-        right = _print(args[1], p + (0 if head.name == "," else 1))
-        if head.name == ",":
-            s = f"({left}{sym} {right})"
-            return s
-        s = f"{left} {sym} {right}"
-        return f"({s})" if prec >= p else s
+        right_prec = p + (0 if head.name == "," else 1)
+        return "infix", [(args[0], p + 1), (args[1], right_prec)], (head.name, sym, p)
 
     # general application
-    parts = [_print(head, 100)] + [_print(a, 100) for a in args]
+    deps = [(head, 100)] + [(a, 100) for a in args]
+    return "app", deps, ()
+
+
+def _assemble(tag: str, prec: int, parts: List[str], extra: tuple) -> str:
+    if tag == "atom":
+        return extra[0]
+    if tag == "abs":
+        s = f"\\{extra[0]}. {parts[0]}"
+        return f"({s})" if prec > 0 else s
+    if tag == "let":
+        s = f"let {extra[0]} = {parts[0]} in {parts[1]}"
+        return f"({s})" if prec > 0 else s
+    if tag == "quant":
+        s = f"{extra[0]}{extra[1]}. {parts[0]}"
+        return f"({s})" if prec > 0 else s
+    if tag == "neg":
+        return f"~{parts[0]}"
+    if tag == "infix":
+        name, sym, p = extra
+        left, right = parts
+        if name == ",":
+            return f"({left}{sym} {right})"
+        s = f"{left} {sym} {right}"
+        return f"({s})" if prec >= p else s
+    # general application
     s = " ".join(parts)
     return f"({s})" if prec >= 100 else s
+
+
+def term_to_string(t: "tm.Term") -> str:
+    """Render a term as a string (explicit-stack, memoised per subterm)."""
+    memo: Dict[Tuple["tm.Term", int], str] = {}
+    layouts: Dict[Tuple["tm.Term", int], Tuple[str, _Deps, tuple]] = {}
+    stack: List[Tuple["tm.Term", int]] = [(t, 0)]
+    while stack:
+        task = stack[-1]
+        if task in memo:
+            stack.pop()
+            continue
+        layout = layouts.get(task)
+        if layout is None:
+            layout = layouts[task] = _layout(*task)
+        tag, deps, extra = layout
+        missing = [d for d in deps if d not in memo]
+        if missing:
+            stack.extend(missing)
+            continue
+        prec = task[1]
+        memo[task] = _assemble(tag, prec, [memo[d] for d in deps], extra)
+        stack.pop()
+        del layouts[task]
+    return memo[(t, 0)]
 
 
 def theorem_to_string(hyps, concl) -> str:

@@ -10,7 +10,7 @@ theorem ``|- c0 = cn`` — the "compound synthesis step" of Section III.A.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Sequence
 
 from .kernel import (
     ALPHA,
@@ -19,7 +19,6 @@ from .kernel import (
     DEDUCT_ANTISYM,
     EQ_MP,
     INST,
-    INST_TYPE,
     KernelError,
     MK_COMB,
     REFL,
@@ -27,7 +26,7 @@ from .kernel import (
     TRANS,
     Theorem,
 )
-from .terms import Comb, Term, Var, aconv, dest_eq
+from .terms import Term, Var, aconv, dest_eq
 
 
 class RuleError(Exception):

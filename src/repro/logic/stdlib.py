@@ -213,25 +213,22 @@ def mk_let(var: Var, value: Term, body: Term) -> Term:
 
 def dest_let(t: Term):
     """Destruct ``LET (\\var. body) value`` into ``(var, value, body)``."""
+    from .lazyfmt import lazy
     from .terms import TermError
 
-    if (
+    if is_let(t):
+        ab = t.rator.rand
+        return ab.bvar, t.rand, ab.body
+    raise TermError(lazy("dest_let: not a let term: {}", t))
+
+
+def is_let(t: Term) -> bool:
+    return (
         isinstance(t, Comb)
         and isinstance(t.rator, Comb)
         and t.rator.rator.is_const("LET")
         and isinstance(t.rator.rand, Abs)
-    ):
-        ab = t.rator.rand
-        return ab.bvar, t.rand, ab.body
-    raise TermError(f"dest_let: not a let term: {t}")
-
-
-def is_let(t: Term) -> bool:
-    try:
-        dest_let(t)
-        return True
-    except Exception:
-        return False
+    )
 
 
 def word_op(name: str, *args: Term) -> Term:

@@ -8,17 +8,25 @@ The term language is the simply-typed lambda calculus with constants:
 * :class:`Comb` — application ``f x``,
 * :class:`Abs` — abstraction ``\\x. t``.
 
-Terms are immutable, hash-consed per structural identity and compared
-structurally (``==`` is *not* alpha-equivalence; use :func:`aconv` for that).
-All the usual syntactic operations live here: free variables, capture
-avoiding substitution, type instantiation, beta reduction and a small zoo of
-constructors/destructors for equality, pairs and tuples that the rest of the
-library relies on.
+Terms are immutable and **hash-consed**: each constructor interns its result
+in a global weak table keyed on the (already interned) children, so
+structurally equal terms are pointer-identical.  ``==`` is therefore an
+``is`` check and ``hash`` returns a stored integer — both O(1) — which is
+what makes the kernel's hot path (``TRANS``, ``aconv``, dictionary lookups
+in substitution environments) cheap on the deep ``let`` chains produced by
+gate-level circuit embeddings.  ``==`` is *not* alpha-equivalence; use
+:func:`aconv` for that.
+
+Every traversal (free variables, capture-avoiding substitution, type
+instantiation, alpha-conversion, beta-normalisation) uses an explicit work
+stack with memoisation keyed on interned identity, so terms of arbitrary
+depth never hit the Python recursion limit.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from weakref import WeakValueDictionary
 
 from .hol_types import (
     HolType,
@@ -35,10 +43,29 @@ class TermError(Exception):
     """Raised for ill-formed term constructions."""
 
 
-class Term:
-    """Base class of HOL terms.  Instances are immutable."""
+#: Global intern table mapping structural keys to the unique live instance.
+_intern_table: "WeakValueDictionary" = WeakValueDictionary()
 
-    __slots__ = ()
+_intern_hits = 0
+_intern_misses = 0
+
+
+def term_intern_stats() -> Dict[str, int]:
+    """Counters of the term intern table: hits, misses and live entries."""
+    return {
+        "hits": _intern_hits,
+        "misses": _intern_misses,
+        "live": len(_intern_table),
+    }
+
+
+_EMPTY_FVS: frozenset = frozenset()
+
+
+class Term:
+    """Base class of HOL terms.  Instances are immutable and interned."""
+
+    __slots__ = ("__weakref__",)
 
     # -- typing ------------------------------------------------------------
     @property
@@ -85,22 +112,48 @@ class Term:
 
     # -- traversal -----------------------------------------------------------
     def free_vars(self) -> Set["Var"]:
-        out: Set[Var] = set()
-        _free_vars(self, frozenset(), out)
-        return out
+        return set(free_vars_set(self))
 
     def constants(self) -> Set["Const"]:
         out: Set[Const] = set()
-        _constants(self, out)
+        seen: Set[Term] = set()
+        stack: List[Term] = [self]
+        while stack:
+            tm = stack.pop()
+            if tm in seen:
+                continue
+            seen.add(tm)
+            if isinstance(tm, Const):
+                out.add(tm)
+            elif isinstance(tm, Comb):
+                stack.append(tm._rator)
+                stack.append(tm._rand)
+            elif isinstance(tm, Abs):
+                stack.append(tm._body)
         return out
 
     def type_vars(self) -> Set[TyVar]:
         out: Set[TyVar] = set()
-        _term_type_vars(self, out)
+        seen: Set[Term] = set()
+        stack: List[Term] = [self]
+        while stack:
+            tm = stack.pop()
+            if tm in seen:
+                continue
+            seen.add(tm)
+            if isinstance(tm, (Var, Const)):
+                out.update(tm.ty._tvs)  # type: ignore[attr-defined]
+            elif isinstance(tm, Comb):
+                stack.append(tm._rator)
+                stack.append(tm._rand)
+            elif isinstance(tm, Abs):
+                out.update(tm._bvar.ty._tvs)  # type: ignore[attr-defined]
+                stack.append(tm._body)
         return out
 
     def size(self) -> int:
-        """Number of term nodes (a rough complexity measure)."""
+        """Number of term nodes, counting shared subterms once per occurrence
+        (a rough complexity measure)."""
         return _term_size(self)
 
     # -- operations ----------------------------------------------------------
@@ -124,16 +177,26 @@ class Term:
 class Var(Term):
     """A term variable ``name : ty``."""
 
-    __slots__ = ("name", "_ty", "_hash")
+    __slots__ = ("name", "_ty", "_hash", "_fvs")
 
-    def __init__(self, name: str, ty: HolType):
+    def __new__(cls, name: str, ty: HolType):
+        global _intern_hits, _intern_misses
         if not isinstance(ty, HolType):
             raise TermError(f"Var: type must be a HolType, got {ty!r}")
         if not name:
             raise TermError("Var: empty name")
+        key = ("Var", name, ty)
+        cached = _intern_table.get(key)
+        if cached is not None:
+            _intern_hits += 1
+            return cached
+        _intern_misses += 1
+        self = object.__new__(cls)
         object.__setattr__(self, "name", name)
         object.__setattr__(self, "_ty", ty)
-        object.__setattr__(self, "_hash", hash(("Var", name, ty)))
+        object.__setattr__(self, "_hash", hash(key))
+        object.__setattr__(self, "_fvs", frozenset((self,)))
+        return _intern_table.setdefault(key, self)
 
     def __setattr__(self, key, value):  # pragma: no cover
         raise AttributeError("Term instances are immutable")
@@ -143,7 +206,10 @@ class Var(Term):
         return self._ty
 
     def __eq__(self, other) -> bool:
-        return isinstance(other, Var) and other.name == self.name and other._ty == self._ty
+        return self is other
+
+    def __ne__(self, other) -> bool:
+        return self is not other
 
     def __hash__(self) -> int:
         return self._hash
@@ -158,16 +224,26 @@ class Const(Term):
     constructor here is syntactic only.
     """
 
-    __slots__ = ("name", "_ty", "_hash")
+    __slots__ = ("name", "_ty", "_hash", "_fvs")
 
-    def __init__(self, name: str, ty: HolType):
+    def __new__(cls, name: str, ty: HolType):
+        global _intern_hits, _intern_misses
         if not isinstance(ty, HolType):
             raise TermError(f"Const: type must be a HolType, got {ty!r}")
         if not name:
             raise TermError("Const: empty name")
+        key = ("Const", name, ty)
+        cached = _intern_table.get(key)
+        if cached is not None:
+            _intern_hits += 1
+            return cached
+        _intern_misses += 1
+        self = object.__new__(cls)
         object.__setattr__(self, "name", name)
         object.__setattr__(self, "_ty", ty)
-        object.__setattr__(self, "_hash", hash(("Const", name, ty)))
+        object.__setattr__(self, "_hash", hash(key))
+        object.__setattr__(self, "_fvs", _EMPTY_FVS)
+        return _intern_table.setdefault(key, self)
 
     def __setattr__(self, key, value):  # pragma: no cover
         raise AttributeError("Term instances are immutable")
@@ -177,9 +253,10 @@ class Const(Term):
         return self._ty
 
     def __eq__(self, other) -> bool:
-        return (
-            isinstance(other, Const) and other.name == self.name and other._ty == self._ty
-        )
+        return self is other
+
+    def __ne__(self, other) -> bool:
+        return self is not other
 
     def __hash__(self) -> int:
         return self._hash
@@ -188,26 +265,36 @@ class Const(Term):
 class Comb(Term):
     """An application ``rator rand``."""
 
-    __slots__ = ("_rator", "_rand", "_ty", "_hash")
+    __slots__ = ("_rator", "_rand", "_ty", "_hash", "_fvs")
 
-    def __init__(self, rator: Term, rand: Term):
+    def __new__(cls, rator: Term, rand: Term):
+        global _intern_hits, _intern_misses
         if not isinstance(rator, Term) or not isinstance(rand, Term):
             raise TermError("Comb: operands must be terms")
+        key = ("Comb", rator, rand)
+        cached = _intern_table.get(key)
+        if cached is not None:
+            _intern_hits += 1
+            return cached
         rty = rator.ty
         if not rty.is_fun():
             raise TermError(
                 f"Comb: operator has non-function type {rty} (term: {rator!s})"
             )
         dom, cod = dest_fun_ty(rty)
-        if dom != rand.ty:
+        if dom is not rand.ty:
             raise TermError(
                 f"Comb: type mismatch, operator expects {dom} but operand has "
                 f"type {rand.ty}"
             )
+        _intern_misses += 1
+        self = object.__new__(cls)
         object.__setattr__(self, "_rator", rator)
         object.__setattr__(self, "_rand", rand)
         object.__setattr__(self, "_ty", cod)
-        object.__setattr__(self, "_hash", hash(("Comb", rator, rand)))
+        object.__setattr__(self, "_hash", hash(key))
+        object.__setattr__(self, "_fvs", None)
+        return _intern_table.setdefault(key, self)
 
     def __setattr__(self, key, value):  # pragma: no cover
         raise AttributeError("Term instances are immutable")
@@ -225,12 +312,10 @@ class Comb(Term):
         return self._rand
 
     def __eq__(self, other) -> bool:
-        return (
-            isinstance(other, Comb)
-            and other._hash == self._hash
-            and other._rator == self._rator
-            and other._rand == self._rand
-        )
+        return self is other
+
+    def __ne__(self, other) -> bool:
+        return self is not other
 
     def __hash__(self) -> int:
         return self._hash
@@ -239,17 +324,27 @@ class Comb(Term):
 class Abs(Term):
     """An abstraction ``\\bvar. body``."""
 
-    __slots__ = ("_bvar", "_body", "_ty", "_hash")
+    __slots__ = ("_bvar", "_body", "_ty", "_hash", "_fvs")
 
-    def __init__(self, bvar: Var, body: Term):
+    def __new__(cls, bvar: Var, body: Term):
+        global _intern_hits, _intern_misses
         if not isinstance(bvar, Var):
             raise TermError("Abs: bound variable must be a Var")
         if not isinstance(body, Term):
             raise TermError("Abs: body must be a term")
+        key = ("Abs", bvar, body)
+        cached = _intern_table.get(key)
+        if cached is not None:
+            _intern_hits += 1
+            return cached
+        _intern_misses += 1
+        self = object.__new__(cls)
         object.__setattr__(self, "_bvar", bvar)
         object.__setattr__(self, "_body", body)
         object.__setattr__(self, "_ty", mk_fun_ty(bvar.ty, body.ty))
-        object.__setattr__(self, "_hash", hash(("Abs", bvar, body)))
+        object.__setattr__(self, "_hash", hash(key))
+        object.__setattr__(self, "_fvs", None)
+        return _intern_table.setdefault(key, self)
 
     def __setattr__(self, key, value):  # pragma: no cover
         raise AttributeError("Term instances are immutable")
@@ -267,12 +362,10 @@ class Abs(Term):
         return self._body
 
     def __eq__(self, other) -> bool:
-        return (
-            isinstance(other, Abs)
-            and other._hash == self._hash
-            and other._bvar == self._bvar
-            and other._body == self._body
-        )
+        return self is other
+
+    def __ne__(self, other) -> bool:
+        return self is not other
 
     def __hash__(self) -> int:
         return self._hash
@@ -282,64 +375,79 @@ class Abs(Term):
 # Traversal helpers
 # ---------------------------------------------------------------------------
 
-def _free_vars(t: Term, bound: frozenset, out: Set[Var]) -> None:
-    stack: List[Tuple[Term, frozenset]] = [(t, bound)]
-    while stack:
-        tm, bnd = stack.pop()
-        if isinstance(tm, Var):
-            if tm not in bnd:
-                out.add(tm)
-        elif isinstance(tm, Comb):
-            stack.append((tm.rator, bnd))
-            stack.append((tm.rand, bnd))
-        elif isinstance(tm, Abs):
-            stack.append((tm.body, bnd | {tm.bvar}))
+def free_vars_set(t: Term) -> frozenset:
+    """The free variables of ``t`` as a frozenset, cached per interned node.
 
-
-def _constants(t: Term, out: Set[Const]) -> None:
+    Computed bottom-up with an explicit stack; because terms are interned,
+    each distinct subterm pays for its free-variable set exactly once for the
+    lifetime of the node.
+    """
+    cached = t._fvs  # type: ignore[attr-defined]
+    if cached is not None:
+        return cached
     stack = [t]
     while stack:
-        tm = stack.pop()
-        if isinstance(tm, Const):
-            out.add(tm)
-        elif isinstance(tm, Comb):
-            stack.append(tm.rator)
-            stack.append(tm.rand)
-        elif isinstance(tm, Abs):
-            stack.append(tm.body)
-
-
-def _term_type_vars(t: Term, out: Set[TyVar]) -> None:
-    stack = [t]
-    while stack:
-        tm = stack.pop()
-        if isinstance(tm, (Var, Const)):
-            out.update(tm.ty.type_vars())
-        elif isinstance(tm, Comb):
-            stack.append(tm.rator)
-            stack.append(tm.rand)
-        elif isinstance(tm, Abs):
-            out.update(tm.bvar.ty.type_vars())
-            stack.append(tm.body)
+        tm = stack[-1]
+        if tm._fvs is not None:  # type: ignore[attr-defined]
+            stack.pop()
+            continue
+        if isinstance(tm, Comb):
+            r, d = tm._rator, tm._rand
+            rf, df = r._fvs, d._fvs
+            if rf is None or df is None:
+                if df is None:
+                    stack.append(d)
+                if rf is None:
+                    stack.append(r)
+                continue
+            fvs = rf | df if rf else df
+            object.__setattr__(tm, "_fvs", fvs)
+            stack.pop()
+            continue
+        assert isinstance(tm, Abs)
+        b = tm._body
+        bf = b._fvs
+        if bf is None:
+            stack.append(b)
+            continue
+        object.__setattr__(tm, "_fvs", bf - {tm._bvar} if tm._bvar in bf else bf)
+        stack.pop()
+    return t._fvs  # type: ignore[attr-defined]
 
 
 def _term_size(t: Term) -> int:
-    size = 0
+    memo: Dict[Term, int] = {}
     stack = [t]
     while stack:
-        tm = stack.pop()
-        size += 1
+        tm = stack[-1]
+        if tm in memo:
+            stack.pop()
+            continue
         if isinstance(tm, Comb):
-            stack.append(tm.rator)
-            stack.append(tm.rand)
-        elif isinstance(tm, Abs):
-            stack.append(tm.body)
-    return size
+            r, d = tm._rator, tm._rand
+            pending = [c for c in (r, d) if c not in memo]
+            if pending:
+                stack.extend(pending)
+                continue
+            memo[tm] = 1 + memo[r] + memo[d]
+            stack.pop()
+            continue
+        if isinstance(tm, Abs):
+            b = tm._body
+            if b not in memo:
+                stack.append(b)
+                continue
+            memo[tm] = 1 + memo[b]
+            stack.pop()
+            continue
+        memo[tm] = 1
+        stack.pop()
+    return memo[t]
 
 
 def free_in(v: Var, t: Term) -> bool:
     """``True`` if variable ``v`` occurs free in ``t``."""
-    return v in t.free_vars()
+    return v in free_vars_set(t)
 
 
 def variant(avoid: Iterable[Var], v: Var) -> Var:
@@ -368,49 +476,98 @@ def var_subst(env: Dict[Var, Term], t: Term) -> Term:
     for v, tm in env.items():
         if not isinstance(v, Var):
             raise TermError(f"var_subst: key is not a variable: {v!r}")
-        if v.ty != tm.ty:
+        if v.ty is not tm.ty:
             raise TermError(
                 f"var_subst: type mismatch for {v.name}: {v.ty} vs {tm.ty}"
             )
     return _subst(t, env)
 
 
+# frame opcodes for the explicit-stack engines below
+_VISIT, _BUILD_COMB, _BUILD_ABS, _ALIAS = 0, 1, 2, 3
+
+
 def _subst(t: Term, env: Dict[Var, Term]) -> Term:
-    if isinstance(t, Var):
-        return env.get(t, t)
-    if isinstance(t, Const):
-        return t
-    if isinstance(t, Comb):
-        new_rator = _subst(t.rator, env)
-        new_rand = _subst(t.rand, env)
-        if new_rator is t.rator and new_rand is t.rand:
-            return t
-        return Comb(new_rator, new_rand)
-    assert isinstance(t, Abs)
-    bv = t.bvar
-    # Drop any binding for the bound variable itself.
-    env2 = {v: tm for v, tm in env.items() if v != bv}
-    if not env2:
-        return t
-    # Avoid capture: if the bound variable is free in any replacement that
-    # will actually be used, rename it.
-    relevant_free: Set[Var] = set()
-    body_frees = t.body.free_vars()
-    used = False
-    for v, tm in env2.items():
-        if v in body_frees:
-            used = True
-            relevant_free |= tm.free_vars()
-    if not used:
-        return t
-    if bv in relevant_free:
-        new_bv = variant(relevant_free | body_frees, bv)
-        new_body = _subst(t.body, {**env2, bv: new_bv})
-        return Abs(new_bv, new_body)
-    new_body = _subst(t.body, env2)
-    if new_body is t.body:
-        return t
-    return Abs(bv, new_body)
+    """Iterative capture-avoiding substitution.
+
+    Substitution environments change only under binders, so each distinct
+    environment gets an integer id and results are memoised per
+    ``(env_id, node)``; the memo makes shared (interned) subterms pay once.
+    """
+    envs: List[Dict[Var, Term]] = [env]
+    child_env: Dict[Tuple[int, Var], int] = {}
+    memo: Dict[Tuple[int, Term], Term] = {}
+    stack: List[tuple] = [(_VISIT, t, 0)]
+    while stack:
+        frame = stack.pop()
+        op = frame[0]
+        if op == _VISIT:
+            tm, e = frame[1], frame[2]
+            key = (e, tm)
+            if key in memo:
+                continue
+            cur = envs[e]
+            if isinstance(tm, Var):
+                memo[key] = cur.get(tm, tm)
+                continue
+            if isinstance(tm, Const) or free_vars_set(tm).isdisjoint(cur):
+                memo[key] = tm
+                continue
+            if isinstance(tm, Comb):
+                stack.append((_BUILD_COMB, tm, e))
+                stack.append((_VISIT, tm._rand, e))
+                stack.append((_VISIT, tm._rator, e))
+                continue
+            assert isinstance(tm, Abs)
+            bv = tm._bvar
+            env2 = {v: rep for v, rep in cur.items() if v is not bv}
+            if not env2:
+                memo[key] = tm
+                continue
+            body_frees = free_vars_set(tm._body)
+            relevant_free: Set[Var] = set()
+            used = False
+            for v, rep in env2.items():
+                if v in body_frees:
+                    used = True
+                    relevant_free |= free_vars_set(rep)
+            if not used:
+                memo[key] = tm
+                continue
+            if bv in relevant_free:
+                new_bv = variant(relevant_free | body_frees, bv)
+                env3 = dict(env2)
+                env3[bv] = new_bv
+                e3 = len(envs)
+                envs.append(env3)
+                stack.append((_BUILD_ABS, tm, e, new_bv, e3))
+                stack.append((_VISIT, tm._body, e3))
+            else:
+                ckey = (e, bv)
+                e2 = child_env.get(ckey)
+                if e2 is None:
+                    e2 = len(envs)
+                    envs.append(env2)
+                    child_env[ckey] = e2
+                stack.append((_BUILD_ABS, tm, e, bv, e2))
+                stack.append((_VISIT, tm._body, e2))
+            continue
+        if op == _BUILD_COMB:
+            tm, e = frame[1], frame[2]
+            nr = memo[(e, tm._rator)]
+            nd = memo[(e, tm._rand)]
+            memo[(e, tm)] = (
+                tm if nr is tm._rator and nd is tm._rand else Comb(nr, nd)
+            )
+            continue
+        # _BUILD_ABS
+        tm, e, bv, eb = frame[1], frame[2], frame[3], frame[4]
+        nb = memo[(eb, tm._body)]
+        if bv is tm._bvar and nb is tm._body:
+            memo[(e, tm)] = tm
+        else:
+            memo[(e, tm)] = Abs(bv, nb)
+    return memo[(0, t)]
 
 
 def inst_type(env: Dict[TyVar, HolType], t: Term) -> Term:
@@ -424,29 +581,69 @@ def inst_type(env: Dict[TyVar, HolType], t: Term) -> Term:
     return _inst_type(t, env)
 
 
+def _inst_var(v: Term, env: Dict[TyVar, HolType]) -> Term:
+    new_ty = type_subst(env, v.ty)
+    if new_ty is v.ty:
+        return v
+    return Var(v.name, new_ty) if isinstance(v, Var) else Const(v.name, new_ty)
+
+
 def _inst_type(t: Term, env: Dict[TyVar, HolType]) -> Term:
-    if isinstance(t, Var):
-        new_ty = type_subst(env, t.ty)
-        return t if new_ty == t.ty else Var(t.name, new_ty)
-    if isinstance(t, Const):
-        new_ty = type_subst(env, t.ty)
-        return t if new_ty == t.ty else Const(t.name, new_ty)
-    if isinstance(t, Comb):
-        return Comb(_inst_type(t.rator, env), _inst_type(t.rand, env))
-    assert isinstance(t, Abs)
-    new_bv = _inst_type(t.bvar, env)
-    new_body = _inst_type(t.body, env)
-    assert isinstance(new_bv, Var)
-    # Capture check: a free variable of the body that becomes equal to the
-    # instantiated bound variable must not be captured.  Rename the bound
-    # variable at the un-instantiated level and re-instantiate.
-    old_frees = t.body.free_vars() - {t.bvar}
-    for fv in old_frees:
-        if _inst_type(fv, env) == new_bv:
-            fresh = variant(old_frees | {t.bvar}, t.bvar)
-            renamed = Abs(fresh, var_subst({t.bvar: fresh}, t.body))
-            return _inst_type(renamed, env)
-    return Abs(new_bv, new_body)
+    memo: Dict[Term, Term] = {}
+    stack: List[tuple] = [(_VISIT, t)]
+    while stack:
+        frame = stack.pop()
+        op = frame[0]
+        tm = frame[1]
+        if op == _VISIT:
+            if tm in memo:
+                continue
+            if isinstance(tm, (Var, Const)):
+                memo[tm] = _inst_var(tm, env)
+                continue
+            if isinstance(tm, Comb):
+                stack.append((_BUILD_COMB, tm))
+                stack.append((_VISIT, tm._rand))
+                stack.append((_VISIT, tm._rator))
+                continue
+            assert isinstance(tm, Abs)
+            stack.append((_BUILD_ABS, tm))
+            stack.append((_VISIT, tm._body))
+            stack.append((_VISIT, tm._bvar))
+            continue
+        if op == _BUILD_COMB:
+            nr = memo[tm._rator]
+            nd = memo[tm._rand]
+            memo[tm] = tm if nr is tm._rator and nd is tm._rand else Comb(nr, nd)
+            continue
+        if op == _BUILD_ABS:
+            new_bv = memo[tm._bvar]
+            new_body = memo[tm._body]
+            assert isinstance(new_bv, Var)
+            # Capture check: a free variable of the body that becomes equal to
+            # the instantiated bound variable must not be captured.  Rename the
+            # bound variable at the un-instantiated level and re-instantiate.
+            old_frees = free_vars_set(tm._body) - {tm._bvar}
+            clash = False
+            for fv in old_frees:
+                if _inst_var(fv, env) is new_bv:
+                    clash = True
+                    break
+            if not clash:
+                memo[tm] = (
+                    tm
+                    if new_bv is tm._bvar and new_body is tm._body
+                    else Abs(new_bv, new_body)
+                )
+                continue
+            fresh = variant(old_frees | {tm._bvar}, tm._bvar)
+            renamed = Abs(fresh, var_subst({tm._bvar: fresh}, tm._body))
+            stack.append((_ALIAS, tm, renamed))
+            stack.append((_VISIT, renamed))
+            continue
+        # _ALIAS
+        memo[tm] = memo[frame[2]]
+    return memo[t]
 
 
 # ---------------------------------------------------------------------------
@@ -454,35 +651,51 @@ def _inst_type(t: Term, env: Dict[TyVar, HolType]) -> Term:
 # ---------------------------------------------------------------------------
 
 def aconv(t1: Term, t2: Term) -> bool:
-    """Alpha-equivalence of two terms."""
-    return _aconv(t1, t2, {}, {}, 0)
-
-
-def _aconv(t1: Term, t2: Term, m1: dict, m2: dict, depth: int) -> bool:
-    if isinstance(t1, Var):
-        if not isinstance(t2, Var):
+    """Alpha-equivalence of two terms (iterative; identical terms are O(1))."""
+    if t1 is t2:
+        return True
+    stack: List[tuple] = [(t1, t2, None, None, 0)]
+    while stack:
+        a, b, m1, m2, depth = stack.pop()
+        if a is b:
+            # Identical interned subterms are alpha-equal as long as none of
+            # their free variables is captured by an enclosing binder map.
+            if not m1 and not m2:
+                continue
+            fa = free_vars_set(a)
+            if (not m1 or fa.isdisjoint(m1)) and (not m2 or fa.isdisjoint(m2)):
+                continue
+        if isinstance(a, Var):
+            if not isinstance(b, Var):
+                return False
+            d1 = m1.get(a) if m1 else None
+            d2 = m2.get(b) if m2 else None
+            if d1 is None and d2 is None:
+                if a is not b:
+                    return False
+                continue
+            if d1 != d2 or a._ty is not b._ty:
+                return False
+            continue
+        if isinstance(a, Const):
+            if a is not b:
+                return False
+            continue
+        if isinstance(a, Comb):
+            if not isinstance(b, Comb):
+                return False
+            stack.append((a._rand, b._rand, m1, m2, depth))
+            stack.append((a._rator, b._rator, m1, m2, depth))
+            continue
+        assert isinstance(a, Abs)
+        if not isinstance(b, Abs) or a._bvar._ty is not b._bvar._ty:
             return False
-        d1 = m1.get(t1)
-        d2 = m2.get(t2)
-        if d1 is None and d2 is None:
-            return t1 == t2
-        return d1 == d2 and t1.ty == t2.ty
-    if isinstance(t1, Const):
-        return t1 == t2
-    if isinstance(t1, Comb):
-        return (
-            isinstance(t2, Comb)
-            and _aconv(t1.rator, t2.rator, m1, m2, depth)
-            and _aconv(t1.rand, t2.rand, m1, m2, depth)
-        )
-    assert isinstance(t1, Abs)
-    if not isinstance(t2, Abs) or t1.bvar.ty != t2.bvar.ty:
-        return False
-    n1 = dict(m1)
-    n2 = dict(m2)
-    n1[t1.bvar] = depth
-    n2[t2.bvar] = depth
-    return _aconv(t1.body, t2.body, n1, n2, depth + 1)
+        n1 = dict(m1) if m1 else {}
+        n2 = dict(m2) if m2 else {}
+        n1[a._bvar] = depth
+        n2[b._bvar] = depth
+        stack.append((a._body, b._body, n1, n2, depth + 1))
+    return True
 
 
 # ---------------------------------------------------------------------------
@@ -497,28 +710,53 @@ def beta_reduce_step(t: Term) -> Term:
 
 
 def beta_normalize(t: Term, max_steps: int = 1_000_000) -> Term:
-    """Full beta-normalisation (call-by-value-ish, leftmost-outermost)."""
+    """Full beta-normalisation (call-by-value-ish, leftmost-outermost).
+
+    Iterative with per-node memoisation: the normal form of a term does not
+    depend on its context, so shared (interned) subterms are normalised once.
+    ``max_steps`` bounds the number of beta contractions.
+    """
     steps = 0
-
-    def norm(tm: Term) -> Term:
-        nonlocal steps
-        while True:
-            steps += 1
-            if steps > max_steps:
-                raise TermError("beta_normalize: too many reduction steps")
-            if isinstance(tm, Comb):
-                rator = norm(tm.rator)
-                rand = norm(tm.rand)
-                if isinstance(rator, Abs):
-                    tm = var_subst({rator.bvar: rand}, rator.body)
-                    continue
-                return Comb(rator, rand) if (rator is not tm.rator or rand is not tm.rand) else tm
+    memo: Dict[Term, Term] = {}
+    stack: List[tuple] = [(_VISIT, t)]
+    while stack:
+        frame = stack.pop()
+        op = frame[0]
+        tm = frame[1]
+        if op == _VISIT:
+            if tm in memo:
+                continue
+            if isinstance(tm, (Var, Const)):
+                memo[tm] = tm
+                continue
             if isinstance(tm, Abs):
-                body = norm(tm.body)
-                return Abs(tm.bvar, body) if body is not tm.body else tm
-            return tm
-
-    return norm(t)
+                stack.append((_BUILD_ABS, tm))
+                stack.append((_VISIT, tm._body))
+                continue
+            stack.append((_BUILD_COMB, tm))
+            stack.append((_VISIT, tm._rand))
+            stack.append((_VISIT, tm._rator))
+            continue
+        if op == _BUILD_COMB:
+            nr = memo[tm._rator]
+            nd = memo[tm._rand]
+            if isinstance(nr, Abs):
+                steps += 1
+                if steps > max_steps:
+                    raise TermError("beta_normalize: too many reduction steps")
+                contracted = var_subst({nr._bvar: nd}, nr._body)
+                stack.append((_ALIAS, tm, contracted))
+                stack.append((_VISIT, contracted))
+                continue
+            memo[tm] = tm if nr is tm._rator and nd is tm._rand else Comb(nr, nd)
+            continue
+        if op == _BUILD_ABS:
+            nb = memo[tm._body]
+            memo[tm] = tm if nb is tm._body else Abs(tm._bvar, nb)
+            continue
+        # _ALIAS
+        memo[tm] = memo[frame[2]]
+    return memo[t]
 
 
 # ---------------------------------------------------------------------------
@@ -537,18 +775,33 @@ def mk_abs(bvar: Var, body: Term) -> Abs:
     return Abs(bvar, body)
 
 
+#: Cache of the instantiated ``=`` constant per operand type.  ``mk_eq`` is
+#: called once per kernel inference (every theorem's conclusion is built with
+#: it), so skipping the two function-type interning lookups matters.  Weak
+#: values keep the cache from pinning types of discarded workloads: the entry
+#: lives exactly as long as some equation over the type does.
+_eq_const_cache: "WeakValueDictionary" = WeakValueDictionary()
+
+
 def mk_eq(lhs: Term, rhs: Term) -> Term:
     """Build the equation ``lhs = rhs``."""
-    if lhs.ty != rhs.ty:
-        raise TermError(f"mk_eq: type mismatch {lhs.ty} vs {rhs.ty}")
-    eq_ty = mk_fun_ty(lhs.ty, mk_fun_ty(lhs.ty, bool_ty))
-    return Comb(Comb(Const("=", eq_ty), lhs), rhs)
+    lty = lhs.ty
+    if lty is not rhs.ty:
+        raise TermError(f"mk_eq: type mismatch {lty} vs {rhs.ty}")
+    eq_const = _eq_const_cache.get(lty)
+    if eq_const is None:
+        eq_ty = mk_fun_ty(lty, mk_fun_ty(lty, bool_ty))
+        eq_const = Const("=", eq_ty)
+        _eq_const_cache[lty] = eq_const
+    return Comb(Comb(eq_const, lhs), rhs)
 
 
 def dest_eq(t: Term) -> Tuple[Term, Term]:
     """Destruct an equation into ``(lhs, rhs)``."""
     if not t.is_eq():
-        raise TermError(f"dest_eq: not an equation: {t}")
+        from .lazyfmt import lazy
+
+        raise TermError(lazy("dest_eq: not an equation: {}", t))
     return t.rator.rand, t.rand
 
 
@@ -568,7 +821,9 @@ def mk_binop(op: Term, a: Term, b: Term) -> Term:
 def dest_binop(t: Term) -> Tuple[Term, Term, Term]:
     """Destruct ``op a b`` into ``(op, a, b)``."""
     if not (isinstance(t, Comb) and isinstance(t.rator, Comb)):
-        raise TermError(f"dest_binop: not a binary application: {t}")
+        from .lazyfmt import lazy
+
+        raise TermError(lazy("dest_binop: not a binary application: {}", t))
     return t.rator.rator, t.rator.rand, t.rand
 
 
@@ -616,11 +871,11 @@ def mk_pair(a: Term, b: Term) -> Term:
 
 
 def is_pair(t: Term) -> bool:
-    try:
-        op, _, _ = dest_binop(t)
-    except TermError:
-        return False
-    return op.is_const(",")
+    return (
+        isinstance(t, Comb)
+        and isinstance(t._rator, Comb)
+        and t._rator._rator.is_const(",")
+    )
 
 
 def dest_pair(t: Term) -> Tuple[Term, Term]:
@@ -665,7 +920,11 @@ def mk_snd(t: Term) -> Term:
 
 
 def iter_subterms(t: Term) -> Iterator[Term]:
-    """Iterate over all subterms (including ``t``), outside-in."""
+    """Iterate over all subterms (including ``t``), outside-in.
+
+    Shared subterms are yielded once per *occurrence* (tree semantics), so
+    occurrence counts over the result are unaffected by interning.
+    """
     stack = [t]
     while stack:
         tm = stack.pop()

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from .hol_types import HolType, TyApp, TyVar, bool_ty, mk_fun_ty, type_match, TypeMatchError
-from .terms import Const, Term, TermError, Var, mk_eq
+from .terms import Const
 
 
 class TheoryError(Exception):

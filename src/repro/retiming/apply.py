@@ -21,8 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..circuits.cells import cell_type
-from ..circuits.netlist import Cell, Netlist, NetlistError, Register
+from ..circuits.netlist import Cell, Netlist, Register
 
 
 class RetimingApplyError(Exception):

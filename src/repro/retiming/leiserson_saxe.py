@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from .graph import HOST, Edge, RetimingGraph, RetimingGraphError
+from .graph import HOST, RetimingGraph, RetimingGraphError
 
 
 class RetimingInfeasible(Exception):

@@ -18,11 +18,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..circuits.bitblast import bitblast
-from ..circuits.netlist import Cell, Netlist, NetlistError
-from .bdd import FALSE, TRUE, BddBudgetExceeded, BddError, BddManager
+from ..circuits.netlist import Cell, Netlist
+from .bdd import FALSE, TRUE, BddManager
 
 
 class VerificationError(Exception):

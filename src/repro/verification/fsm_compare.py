@@ -20,17 +20,11 @@ of the paper's tables).
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..circuits.netlist import Netlist
 from .bdd import FALSE, TRUE, BddBudgetExceeded, BddManager
-from .common import (
-    Budget,
-    ProductFSM,
-    TimeoutBudgetExceeded,
-    VerificationResult,
-    product_fsm,
-)
+from .common import Budget, TimeoutBudgetExceeded, VerificationResult, product_fsm
 
 
 def _functional_image(

@@ -21,9 +21,8 @@ from __future__ import annotations
 import time
 from typing import Dict, Optional
 
-from ..circuits.bitblast import bitblast
 from ..circuits.netlist import Netlist
-from .bdd import FALSE, TRUE, BddBudgetExceeded, BddManager
+from .bdd import TRUE, BddBudgetExceeded, BddManager
 from .common import (
     Budget,
     TimeoutBudgetExceeded,
@@ -127,7 +126,7 @@ def combinational_equivalent(
             status="equivalent",
             seconds=seconds,
             peak_nodes=manager.num_nodes,
-            detail=f"all outputs and next-state functions agree "
+            detail="all outputs and next-state functions agree "
                    f"({manager.num_nodes} BDD nodes)",
         )
     except (TimeoutBudgetExceeded, BddBudgetExceeded) as exc:

@@ -34,9 +34,8 @@ is the difference between the Eijk and Eijk+ columns.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..circuits.bitblast import bitblast
 from ..circuits.netlist import Netlist
 from ..circuits.simulate import Simulator, random_input_sequence
 from .bdd import FALSE, TRUE, BddBudgetExceeded

@@ -19,7 +19,7 @@ from repro.logic.ground import mk_numeral
 from repro.logic.hol_types import bool_ty, mk_fun_ty, mk_prod_ty, num_ty
 from repro.logic.kernel import current_theory
 from repro.logic.stdlib import ensure_stdlib, word_op
-from repro.logic.terms import Abs, Comb, Var, mk_fst, mk_pair, mk_snd
+from repro.logic.terms import Abs, Var, mk_fst, mk_pair, mk_snd
 
 ensure_stdlib()
 

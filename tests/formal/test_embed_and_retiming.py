@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.automata.semantics import TermEvaluator, run_automaton
+from repro.automata.semantics import run_automaton
 from repro.circuits.bitblast import bitblast
 from repro.circuits.generators import (
     counter,

@@ -31,7 +31,7 @@ from repro.logic.kernel import (
 )
 from repro.logic.ground import mk_numeral
 from repro.logic.stdlib import ensure_stdlib, word_op
-from repro.logic.terms import Abs, Comb, Const, Var, aconv, mk_eq
+from repro.logic.terms import Abs, Comb, Const, Var, mk_eq
 from repro.logic.theory import TheoryError
 
 ensure_stdlib()

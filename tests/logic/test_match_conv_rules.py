@@ -15,7 +15,7 @@ from repro.logic.ground import (
     value_of_term,
 )
 from repro.logic.hol_types import TyVar, bool_ty, mk_fun_ty, num_ty
-from repro.logic.kernel import ASSUME, REFL, KernelError
+from repro.logic.kernel import ASSUME, REFL
 from repro.logic.match import MatchError, apply_substitution, matches, term_match
 from repro.logic.rules import (
     RuleError,
@@ -25,18 +25,7 @@ from repro.logic.rules import (
     trans_chain,
 )
 from repro.logic.stdlib import dest_let, ensure_stdlib, is_let, mk_let, word_op
-from repro.logic.terms import (
-    Abs,
-    Comb,
-    Const,
-    Var,
-    aconv,
-    dest_eq,
-    mk_eq,
-    mk_fst,
-    mk_pair,
-    mk_snd,
-)
+from repro.logic.terms import Abs, Var, dest_eq, mk_eq, mk_fst, mk_pair, mk_snd
 
 ensure_stdlib()
 

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.logic.hol_types import TyVar, bool_ty, mk_fun_ty, mk_prod_ty, num_ty
+from repro.logic.hol_types import bool_ty, mk_fun_ty, mk_prod_ty, num_ty
 from repro.logic.terms import (
     Abs,
     Comb,

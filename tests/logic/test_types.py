@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.logic.hol_types import (
-    HolType,
     TyApp,
     TyVar,
     TypeMatchError,

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.circuits.bitblast import bitblast
 from repro.circuits.generators import counter, figure2, figure2_retimed, fractional_multiplier
 from repro.circuits.netlist import Netlist, Register
 from repro.retiming.apply import apply_forward_retiming
