@@ -1,0 +1,107 @@
+"""Compare a benchmark run's kernel-step counts against the committed baseline.
+
+Usage::
+
+    python benchmarks/compare_baseline.py BENCH_baseline.json BENCH_ci.json
+
+Both files are pytest-benchmark JSON records; the quantity compared is
+``extra_info["kernel_steps"]`` (kernel inferences are deterministic, unlike
+wall-clock times, so the comparison is machine-independent).  The script
+exits non-zero when any benchmark present in both files regresses by more
+than ``--tolerance`` (default 10%); new benchmarks and benchmarks without a
+``kernel_steps`` record are reported but never fail the run.
+
+Regenerate the baseline after an intentional perf change with::
+
+    python -m pytest benchmarks -q --benchmark-json=BENCH_new.json
+    python benchmarks/compare_baseline.py --rebaseline BENCH_new.json BENCH_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Dict
+
+
+def load_steps(path: str) -> Dict[str, int]:
+    """``{benchmark name: kernel_steps}`` for every recorded benchmark."""
+    with open(path) as fh:
+        record = json.load(fh)
+    out: Dict[str, int] = {}
+    for bench in record.get("benchmarks", []):
+        steps = bench.get("extra_info", {}).get("kernel_steps")
+        if steps is not None:
+            out[bench["name"]] = int(steps)
+    return out
+
+
+def rebaseline(run_path: str, baseline_path: str) -> int:
+    """Strip a full benchmark record down to the committed baseline shape."""
+    with open(run_path) as fh:
+        record = json.load(fh)
+    benches = [
+        {"name": b["name"], "extra_info": {"kernel_steps": int(b["extra_info"]["kernel_steps"])}}
+        for b in record.get("benchmarks", [])
+        if b.get("extra_info", {}).get("kernel_steps") is not None
+    ]
+    benches.sort(key=lambda b: b["name"])
+    with open(baseline_path, "w") as fh:
+        json.dump({"benchmarks": benches}, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {baseline_path} with {len(benches)} kernel-step baselines")
+    return 0
+
+
+def compare(baseline_path: str, run_path: str, tolerance: float) -> int:
+    baseline = load_steps(baseline_path)
+    current = load_steps(run_path)
+    if not baseline:
+        print(f"error: no kernel-step records in baseline {baseline_path}")
+        return 2
+
+    failures = []
+    for name in sorted(baseline):
+        if name not in current:
+            print(f"  [missing ] {name}: in baseline but not in this run")
+            continue
+        old, new = baseline[name], current[name]
+        change = (new - old) / old if old else 0.0
+        marker = "ok"
+        if new > old * (1.0 + tolerance):
+            marker = "REGRESSED"
+            failures.append((name, old, new))
+        elif new < old:
+            marker = "improved"
+        print(f"  [{marker:9s}] {name}: {old} -> {new} ({change:+.1%})")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  [new      ] {name}: {current[name]} (no baseline yet)")
+
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} benchmark(s) exceed the kernel-step "
+            f"baseline by more than {tolerance:.0%}:"
+        )
+        for name, old, new in failures:
+            print(f"  {name}: {old} -> {new}")
+        return 1
+    print(f"\nOK: kernel-step counts within {tolerance:.0%} of the baseline")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline JSON (or the run, with --rebaseline)")
+    parser.add_argument("run", help="fresh benchmark JSON (or the baseline target, with --rebaseline)")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed fractional step increase (default 0.10)")
+    parser.add_argument("--rebaseline", action="store_true",
+                        help="write a new baseline from the run instead of comparing")
+    args = parser.parse_args(argv)
+    if args.rebaseline:
+        return rebaseline(args.baseline, args.run)
+    return compare(args.baseline, args.run, args.tolerance)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

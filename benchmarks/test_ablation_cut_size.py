@@ -30,6 +30,7 @@ def test_ablation_cut_of_size(benchmark, circuit, size):
         return formal_forward_retiming(circuit, cut, cross_check=False)
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["kernel_steps"] = int(result.stats["inference_steps"])
     assert result.theorem.is_equation()
 
 

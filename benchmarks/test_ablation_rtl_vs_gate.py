@@ -6,6 +6,10 @@ the complexity of the initial state evaluation step (step 4) is not
 affected."  The benchmark runs the formal step on the same circuit at both
 levels and asserts that the term-manipulation steps (1-3) are cheaper at RT
 level while both runs succeed.
+
+Each benchmark also records its kernel-inference count as
+``extra_info["kernel_steps"]``; ``benchmarks/compare_baseline.py`` compares
+those counts against the committed ``BENCH_baseline.json`` in CI.
 """
 
 import os
@@ -19,6 +23,10 @@ from repro.retiming.cuts import maximal_forward_cut
 
 WIDTH = 8
 
+#: kernel inferences of the gate-level run under the PR-1 ``TOP_DEPTH_CONV``
+#: engine; the worklist rewrite engine must stay at least 10x below this
+PR1_GATE_LEVEL_STEPS = 1_336_994
+
 
 def test_ablation_rtl_level(benchmark):
     circuit = figure2(WIDTH)
@@ -27,6 +35,7 @@ def test_ablation_rtl_level(benchmark):
         lambda: formal_forward_retiming(circuit, cut, cross_check=False),
         rounds=1, iterations=1,
     )
+    benchmark.extra_info["kernel_steps"] = int(result.stats["inference_steps"])
     assert result.theorem.is_equation()
 
 
@@ -37,7 +46,12 @@ def test_ablation_gate_level(benchmark):
         lambda: formal_forward_retiming(circuit, cut, cross_check=False),
         rounds=1, iterations=1,
     )
+    steps = int(result.stats["inference_steps"])
+    benchmark.extra_info["kernel_steps"] = steps
     assert result.theorem.is_equation()
+    # the worklist engine only revisits changed subterms: >= 10x below the
+    # whole-term-resweep engine of PR 1 on the 88-gate circuit
+    assert steps * 10 <= PR1_GATE_LEVEL_STEPS
 
 
 def test_ablation_rtl_vs_gate_shape(benchmark, results_dir):

@@ -28,6 +28,7 @@ def test_fig2_conventional_retiming(benchmark, circuit):
 
 def test_fig2_formal_retiming(benchmark, circuit):
     result = benchmark(formal_forward_retiming, circuit, figure2_cut())
+    benchmark.extra_info["kernel_steps"] = int(result.stats["inference_steps"])
     assert result.theorem.is_equation()
     assert not result.theorem.hyps
     assert result.new_init_value == (1, 0)
@@ -41,4 +42,5 @@ def test_fig2_formal_retiming_bit_level(benchmark, circuit):
     gate = bitblast(circuit).netlist
     cut = maximal_forward_cut(gate)
     result = benchmark(formal_forward_retiming, gate, cut)
+    benchmark.extra_info["kernel_steps"] = int(result.stats["inference_steps"])
     assert result.theorem.is_equation()

@@ -51,8 +51,20 @@ class Closure:
     env: Dict[Var, Any]
 
 
+#: frame opcodes of the CEK-style machine in :meth:`TermEvaluator._eval`
+_EVAL, _APPLY, _SPECIAL = 0, 1, 2
+
+
 class TermEvaluator:
-    """A call-by-value interpreter for ground circuit terms."""
+    """A call-by-value interpreter for ground circuit terms.
+
+    The evaluator is a CEK-style machine: an explicit control stack of
+    (term, environment) work items and continuation frames, with computed
+    values flowing through a value stack.  Gate-level ``let`` chains put one
+    binding per gate, so term depth grows with circuit size; the explicit
+    stack keeps evaluation independent of the Python recursion limit (a
+    regression test evaluates a >2000-binding chain at the default limit).
+    """
 
     def __init__(self):
         stdlib.ensure_stdlib()
@@ -75,47 +87,108 @@ class TermEvaluator:
 
     # -- internals ----------------------------------------------------------------
     def _eval(self, term: Term, env: Dict[Var, Any]) -> Any:
-        if isinstance(term, Var):
-            if term in env:
-                return env[term]
-            raise EvaluationError(f"unbound variable {term.name}")
-        if isinstance(term, Const):
-            return self._eval_const(term)
-        if isinstance(term, Abs):
-            return Closure(term.bvar, term.body, dict(env))
-        assert isinstance(term, Comb)
-        head, args = self._strip(term)
-        # special forms -------------------------------------------------------
-        if isinstance(head, Const):
-            if head.name == ",":
-                left = self._eval(args[0], env)
-                right = self._eval(args[1], env)
+        # CEK machine: `stack` holds work items and continuations, `vals` the
+        # computed values.  An _EVAL item pushes either a value or further
+        # frames; _SPECIAL/_APPLY frames consume their operands from `vals`.
+        vals: List[Any] = []
+        stack: List[tuple] = [(_EVAL, term, env)]
+        while stack:
+            frame = stack.pop()
+            op = frame[0]
+            if op == _EVAL:
+                tm, e = frame[1], frame[2]
+                if isinstance(tm, Var):
+                    if tm not in e:
+                        raise EvaluationError(f"unbound variable {tm.name}")
+                    vals.append(e[tm])
+                    continue
+                if isinstance(tm, Const):
+                    vals.append(self._eval_const(tm))
+                    continue
+                if isinstance(tm, Abs):
+                    vals.append(Closure(tm.bvar, tm.body, dict(e)))
+                    continue
+                head, args = self._strip(tm)
+                if isinstance(head, Const):
+                    form = self._special_form(head, len(args))
+                    if form is not None:
+                        stack.append((_SPECIAL, form, len(args)))
+                        for a in reversed(args):
+                            stack.append((_EVAL, a, e))
+                        continue
+                stack.append((_APPLY,))
+                stack.append((_EVAL, tm.rand, e))
+                stack.append((_EVAL, tm.rator, e))
+                continue
+            if op == _APPLY:
+                arg = vals.pop()
+                fn_value = vals.pop()
+                if isinstance(fn_value, Closure):
+                    env2 = dict(fn_value.env)
+                    env2[fn_value.var] = arg
+                    stack.append((_EVAL, fn_value.body, env2))
+                elif callable(fn_value):
+                    vals.append(fn_value(arg))
+                else:
+                    raise EvaluationError(
+                        f"cannot apply non-function value {fn_value!r}"
+                    )
+                continue
+            # _SPECIAL: all operands are evaluated, in order, on `vals`
+            form, n = frame[1], frame[2]
+            operands = vals[len(vals) - n:]
+            del vals[len(vals) - n:]
+            if form == ",":
+                left, right = operands
                 if isinstance(right, tuple):
-                    return (left,) + right
-                return (left, right)
-            if head.name == "FST":
-                value = self._eval(args[0], env)
-                return value[0] if len(value) == 2 else value[0]
-            if head.name == "SND":
-                value = self._eval(args[0], env)
-                return value[1] if len(value) == 2 else tuple(value[1:])
-            if head.name == "LET" and len(args) == 2:
-                fn_value = self._eval(args[0], env)
-                arg_value = self._eval(args[1], env)
-                return self.apply(fn_value, arg_value)
-            if head.name == "=" and len(args) == 2:
-                return self._eval(args[0], env) == self._eval(args[1], env)
-            # computable constant
-            try:
-                info = self._theory.constant_info(head.name)
-            except TheoryError:
-                info = None
-            if info is not None and info.compute is not None and len(args) == info.compute_arity:
-                values = [self._eval(a, env) for a in args]
-                return info.compute(*values)
-        # fall back: evaluate operator and operand, then apply
-        result = self._eval(term.rator, env)
-        return self.apply(result, self._eval(term.rand, env))
+                    vals.append((left,) + right)
+                else:
+                    vals.append((left, right))
+            elif form == "FST":
+                vals.append(operands[0][0])
+            elif form == "SND":
+                value = operands[0]
+                vals.append(value[1] if len(value) == 2 else tuple(value[1:]))
+            elif form == "LET":
+                fn_value, arg = operands
+                if isinstance(fn_value, Closure):
+                    env2 = dict(fn_value.env)
+                    env2[fn_value.var] = arg
+                    stack.append((_EVAL, fn_value.body, env2))
+                elif callable(fn_value):
+                    vals.append(fn_value(arg))
+                else:
+                    raise EvaluationError(
+                        f"cannot apply non-function value {fn_value!r}"
+                    )
+            elif form == "=":
+                vals.append(operands[0] == operands[1])
+            else:  # a computable constant's registered rule
+                vals.append(form(*operands))
+        if len(vals) != 1:  # pragma: no cover - machine invariant
+            raise EvaluationError(f"evaluator finished with {len(vals)} values")
+        return vals[0]
+
+    def _special_form(self, head: Const, nargs: int):
+        """The special-form tag or compute rule applicable to ``head``, if any."""
+        name = head.name
+        if name == "," and nargs == 2:
+            return ","
+        if name == "FST" and nargs == 1:
+            return "FST"
+        if name == "SND" and nargs == 1:
+            return "SND"
+        if name == "LET" and nargs == 2:
+            return "LET"
+        if name == "=" and nargs == 2:
+            return "="
+        try:
+            info = self._theory.constant_info(name)
+        except TheoryError:
+            return None
+        if info.compute is not None and nargs == info.compute_arity:
+            return info.compute
+        return None
 
     def _eval_const(self, const: Const) -> Any:
         if const.name == "T":

@@ -86,7 +86,7 @@ def render_rtl_vs_gate(results: Sequence[LevelComparison]) -> str:
     header = f"{'level':6s} {'gates':>6s} " + " ".join(
         f"{k:>14s}" for k in ("split_seconds", "apply_theorem_seconds",
                               "join_seconds", "init_eval_seconds", "total_seconds")
-    )
+    ) + f" {'inferences':>12s}"
     lines.append(header)
     for r in results:
         lines.append(
@@ -94,7 +94,7 @@ def render_rtl_vs_gate(results: Sequence[LevelComparison]) -> str:
                 f"{r.stats[k]:14.4f}" for k in (
                     "split_seconds", "apply_theorem_seconds", "join_seconds",
                     "init_eval_seconds", "total_seconds")
-            )
+            ) + f" {int(r.stats['inference_steps']):12d}"
         )
     return "\n".join(lines)
 

@@ -34,7 +34,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..automata.automaton import TupleLayout
 from ..automata.retiming_theorem import instantiate_retiming
 from ..circuits.netlist import Netlist
-from ..logic import conv
+from ..logic import conv, rewriter
 from ..logic.conv import ConvError
 from ..logic.ground import value_of_term
 from ..logic.kernel import (
@@ -267,7 +267,12 @@ def build_g_term(netlist: Netlist, embedded: EmbeddedCircuit,
 # ---------------------------------------------------------------------------
 
 def unfold_named_lets_conv(names: Sequence[str]):
-    """A conversion unfolding exactly the ``let`` bindings of the given variables."""
+    """A conversion unfolding exactly the ``let`` bindings of the given variables.
+
+    Runs on the worklist engine with the targeted conversion indexed under
+    the ``LET`` head symbol, so non-``let`` nodes never attempt a match and
+    unchanged subtrees cost no inferences.
+    """
     name_set = set(names)
 
     def single(t: Term) -> Theorem:
@@ -277,12 +282,16 @@ def unfold_named_lets_conv(names: Sequence[str]):
                 return conv.LET_CONV(t)
         raise ConvError("not a targeted let binding")
 
-    return conv.TOP_DEPTH_CONV(single)
+    return rewriter.net_conv(rewriter.RewriteNet().add_conv(single, "LET", 2))
 
 
 #: beta + pair-projection normalisation that leaves ``LET`` bindings intact
-reduce_split_conv = conv.TOP_DEPTH_CONV(
-    conv.ORELSEC(conv.BETA_CONV, conv.FST_CONV, conv.SND_CONV)
+#: (head-indexed worklist engine: only changed spines emit congruence steps)
+reduce_split_conv = rewriter.net_conv(
+    rewriter.RewriteNet()
+    .add_beta(conv.BETA_CONV)
+    .add_conv(conv.FST_CONV, "FST", 1)
+    .add_conv(conv.SND_CONV, "SND", 1)
 )
 
 

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..circuits.netlist import Netlist
-from ..logic import conv
+from ..logic import conv, rewriter
 from ..logic.conv import ConvError
 from ..logic.kernel import KernelError, Theorem
 from ..logic.rules import RuleError, equal_by_normalisation, trans_chain
@@ -116,8 +116,12 @@ def tidy_step(description: Term, name: str = "tidy") -> FormalStep:
     step whose theorem is chained onto the retiming theorem by transitivity.
     """
     t0 = time.perf_counter()
-    cleanup = conv.TOP_DEPTH_CONV(
-        conv.ORELSEC(conv.BETA_CONV, conv.FST_CONV, conv.SND_CONV, _single_use_let_conv)
+    cleanup = rewriter.net_conv(
+        rewriter.RewriteNet()
+        .add_beta(conv.BETA_CONV)
+        .add_conv(conv.FST_CONV, "FST", 1)
+        .add_conv(conv.SND_CONV, "SND", 1)
+        .add_conv(_single_use_let_conv, "LET", 2)
     )
     try:
         theorem = cleanup(description)
@@ -155,9 +159,7 @@ def bridge_to_netlist_step(
             "bridge step: description too large for full normalisation "
             f"(size {description.size()} / {embedded.term.size()})"
         )
-    normalise = conv.TOP_DEPTH_CONV(
-        conv.ORELSEC(conv.BETA_CONV, conv.LET_CONV, conv.FST_CONV, conv.SND_CONV)
-    )
+    normalise = conv.BETA_NORM_CONV
     try:
         lhs_norm = normalise(description)
         rhs_norm = normalise(embedded.term)

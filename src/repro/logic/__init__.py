@@ -12,7 +12,9 @@ by the paper's HASH system.  It provides
   (:mod:`repro.logic.theory`),
 * first-order matching, conversions/rewriting and derived rules
   (:mod:`repro.logic.match`, :mod:`repro.logic.conv`,
-  :mod:`repro.logic.rules`), and
+  :mod:`repro.logic.rules`),
+* a worklist-based rewrite engine with head-symbol rule indexing that only
+  revisits changed subterms (:mod:`repro.logic.rewriter`), and
 * a standard library of booleans, pairs, arithmetic and word-level hardware
   operators with ground evaluation (:mod:`repro.logic.stdlib`).
 """
@@ -96,7 +98,8 @@ from .kernel import (
 )
 from .theory import Theory, TheoryError, bootstrap_theory
 from .match import MatchError, matches, term_match
-from . import conv, rules, stdlib
+from . import conv, rewriter, rules, stdlib
+from .rewriter import RewriteNet, net_conv
 from .stdlib import ensure_stdlib, mk_let, dest_let, is_let, word_op
 
 __all__ = [name for name in dir() if not name.startswith("_")]

@@ -375,7 +375,7 @@ def REWR_CONV(th: Theorem, fixed_vars: Iterable[Var] = ()) -> Conv:
     equation.  Hypotheses of ``th`` are carried over unchanged.
     """
     if not th.is_equation():
-        raise ConvError(f"REWR_CONV: theorem is not an equation: {th}")
+        raise ConvError(lazy("REWR_CONV: theorem is not an equation: {}", th))
     pattern = th.lhs
     fixed = tuple(fixed_vars)
 
@@ -418,6 +418,36 @@ def REWRITE_CONV(thms: Sequence[Theorem]) -> Conv:
 
 def ONCE_REWRITE_CONV(thms: Sequence[Theorem]) -> Conv:
     return GEN_REWRITE_CONV(ONCE_DEPTH_CONV, thms)
+
+
+def NET_REWRITE_CONV(rules, limit: int = 1_000_000) -> Conv:
+    """``REWRITE_CONV``-compatible normalisation on the worklist engine.
+
+    ``rules`` is a sequence of equational theorems (or a prebuilt
+    :class:`repro.logic.rewriter.RewriteNet`).  The result proves a theorem
+    alpha-equivalent to ``REWRITE_CONV(rules)``'s, but rule candidates are
+    found through a head-symbol index and unchanged subterms contribute no
+    kernel inferences (see :mod:`repro.logic.rewriter`).
+    """
+    from .rewriter import RewriteNet, net_conv
+
+    if isinstance(rules, RewriteNet):
+        return net_conv(rules, limit=limit)
+    return net_conv(RewriteNet().add_theorems(list(rules)), limit=limit)
+
+
+def TOP_SWEEP_CONV(c: Conv, limit: int = 1_000_000) -> Conv:
+    """``TOP_DEPTH_CONV``-compatible normalisation on the worklist engine.
+
+    Applies ``c`` at every node until no further change occurs, like
+    ``TOP_DEPTH_CONV(c)``, but revisits only changed spines instead of
+    re-sweeping the whole term per pass.  ``c`` is tried unindexed at every
+    node; when the rewrite set has known head symbols, build a
+    :class:`repro.logic.rewriter.RewriteNet` instead for candidate filtering.
+    """
+    from .rewriter import RewriteNet, net_conv
+
+    return net_conv(RewriteNet().add_sweep(c), limit=limit)
 
 
 # ---------------------------------------------------------------------------
@@ -502,15 +532,36 @@ def SND_CONV(t: Term) -> Theorem:
     return REWR_CONV(stdlib.snd_pair_theorem())(t)
 
 
+#: lazily built worklist nets for the standard normalisations (the rewriter
+#: module imports from this one, so the nets cannot be built at import time)
+_std_nets: dict = {}
+
+
+def _std_net_conv(name: str) -> Conv:
+    conv = _std_nets.get(name)
+    if conv is None:
+        from .rewriter import RewriteNet, net_conv
+
+        net = RewriteNet()
+        if name != "pair":
+            net.add_beta(BETA_CONV)
+            net.add_conv(LET_CONV, "LET", 2)
+        net.add_conv(FST_CONV, "FST", 1)
+        net.add_conv(SND_CONV, "SND", 1)
+        if name == "eval":
+            net.add_const_fallback(COMPUTE_CONV)
+        conv = _std_nets[name] = net_conv(net)
+    return conv
+
+
 def PAIR_REDUCE_CONV(t: Term) -> Theorem:
     """Reduce ``FST``/``SND`` applied to pair literals anywhere in ``t``."""
-    return TOP_DEPTH_CONV(ORELSEC(FST_CONV, SND_CONV))(t)
+    return _std_net_conv("pair")(t)
 
 
 def BETA_NORM_CONV(t: Term) -> Theorem:
-    """Full beta/LET/pair normalisation of ``t``."""
-    one = ORELSEC(BETA_CONV, LET_CONV, FST_CONV, SND_CONV)
-    return TOP_DEPTH_CONV(one)(t)
+    """Full beta/LET/pair normalisation of ``t`` (worklist engine)."""
+    return _std_net_conv("beta_norm")(t)
 
 
 def COMPUTE_CONV(t: Term) -> Theorem:
@@ -525,11 +576,12 @@ def EVAL_CONV(t: Term) -> Theorem:
     """Evaluate a term to a ground value where possible.
 
     Performs a bottom-up sweep of beta/LET/pair reduction plus computation
-    rules.  This is the conversion used for step 4 of the retiming procedure
-    (computing the retimed initial state ``f(q)``).
+    rules on the worklist engine (:mod:`repro.logic.rewriter`): shared ground
+    subterms evaluate once and unchanged subtrees cost no inferences.  This
+    is the conversion used for step 4 of the retiming procedure (computing
+    the retimed initial state ``f(q)``).
     """
-    one = ORELSEC(BETA_CONV, LET_CONV, FST_CONV, SND_CONV, COMPUTE_CONV)
-    return TOP_DEPTH_CONV(one)(t)
+    return _std_net_conv("eval")(t)
 
 
 # ---------------------------------------------------------------------------

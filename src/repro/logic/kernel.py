@@ -188,7 +188,9 @@ def ALPHA(t1: Term, t2: Term) -> Theorem:
     """``|- t1 = t2`` provided the terms are alpha-equivalent."""
     _count_step()
     if not aconv(t1, t2):
-        raise KernelError(f"ALPHA: terms are not alpha-equivalent:\n  {t1}\n  {t2}")
+        raise KernelError(
+            lazy("ALPHA: terms are not alpha-equivalent:\n  {}\n  {}", t1, t2)
+        )
     return _mk_thm((), mk_eq(t1, t2), "ALPHA")
 
 
@@ -202,8 +204,10 @@ def TRANS(th1: Theorem, th2: Theorem) -> Theorem:
     a, b1 = dest_eq(th1.concl)
     b2, c = dest_eq(th2.concl)
     if not aconv(b1, b2):
+        # lazy: conversion combinators catch KernelError as control flow, and
+        # the middle terms can be full gate-level descriptions
         raise KernelError(
-            f"TRANS: middle terms do not agree:\n  {b1}\n  {b2}"
+            lazy("TRANS: middle terms do not agree:\n  {}\n  {}", b1, b2)
         )
     return _mk_thm(th1.hyps | th2.hyps, mk_eq(a, c), "TRANS", (th1, th2))
 
@@ -269,7 +273,8 @@ def EQ_MP(th_eq: Theorem, th: Theorem) -> Theorem:
     a, b = dest_eq(th_eq.concl)
     if not aconv(a, th.concl):
         raise KernelError(
-            f"EQ_MP: conclusion does not match equation lhs:\n  {a}\n  {th.concl}"
+            lazy("EQ_MP: conclusion does not match equation lhs:\n  {}\n  {}",
+                 a, th.concl)
         )
     return _mk_thm(th_eq.hyps | th.hyps, b, "EQ_MP", (th_eq, th))
 

@@ -165,7 +165,9 @@ def first_order_match_check(pattern: Term, target: Term) -> Substitution:
     restored = apply_substitution(subst, pattern)
     if not aconv(restored, target):
         raise MatchError(
-            "match succeeded but instantiation does not reproduce the target "
-            f"(pattern {pattern}, target {target})"
+            lazy(
+                "match succeeded but instantiation does not reproduce the "
+                "target (pattern {}, target {})", pattern, target,
+            )
         )
     return subst

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Sequence
 
+from .lazyfmt import lazy
 from .kernel import (
     ALPHA,
     AP_TERM,
@@ -121,9 +122,10 @@ def equal_by_normalisation(norm_lhs: Theorem, norm_rhs: Theorem) -> Theorem:
     _, n1 = dest_eq(norm_lhs.concl)
     _, n2 = dest_eq(norm_rhs.concl)
     if not aconv(n1, n2):
+        # lazy: this raise is control flow when probing faulty cuts, and the
+        # normal forms are full gate-level terms
         raise RuleError(
-            "equal_by_normalisation: normal forms differ:\n"
-            f"  {n1}\n  {n2}"
+            lazy("equal_by_normalisation: normal forms differ:\n  {}\n  {}", n1, n2)
         )
     right = SYM(norm_rhs)
     if n1 != n2:

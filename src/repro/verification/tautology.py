@@ -14,14 +14,31 @@ of the circuits").  This module provides that baseline:
 
 It is used by the compound-step experiments (retiming followed by logic
 minimisation) and by tests as a ground-truth check for small circuits.
+
+Besides the BDD-based checkers, :func:`is_tautology_by_rewriting` and
+:func:`combinational_equivalent_by_rewriting` run the same checks through
+the *kernel*: the circuit is embedded as a logic term and every input
+assignment is evaluated with the worklist rewrite engine
+(:func:`repro.logic.conv.EVAL_CONV`), so each case yields a kernel-checked
+theorem instead of a trusted BDD result.  The enumeration is exponential in
+the number of input/cut-point bits — exactly the limitation Section II
+ascribes to tautology checking — but hash-consing plus the engine's memo
+cache make each individual case linear in the circuit size.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..circuits.netlist import Netlist
+from ..logic import conv
+from ..logic.conv import ConvError
+from ..logic.hol_types import bool_ty
+from ..logic.kernel import KernelError, Theorem
+from ..logic.rules import RuleError, equal_by_normalisation
+from ..logic.stdlib import ensure_stdlib
+from ..logic.terms import Term, Var, mk_tuple, var_subst
 from .bdd import TRUE, BddBudgetExceeded, BddManager
 from .common import (
     Budget,
@@ -133,6 +150,189 @@ def combinational_equivalent(
         return VerificationResult(
             method="tautology",
             status="timeout",
+            seconds=time.perf_counter() - start,
+            detail=str(exc),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Kernel-checked variants on the worklist rewrite engine
+# ---------------------------------------------------------------------------
+
+def _net_terms(gate: Netlist) -> Tuple[Dict[str, Term], List[str]]:
+    """Logic terms for every net, over free variables for inputs/cut points.
+
+    Primary inputs become free boolean variables named after the net;
+    register outputs become cut-point variables ``cut.<register>`` (keyed by
+    register name, matching :func:`combinational_equivalent`).  Cells are
+    embedded by direct substitution — no ``let`` bindings — because terms are
+    hash-consed: shared logic shares pointers, and the rewrite engine's memo
+    cache evaluates every distinct subterm once.
+    """
+    from ..formal.embed import cell_term
+
+    ensure_stdlib()
+    values: Dict[str, Term] = {}
+    var_names: List[str] = []
+    for name in gate.inputs:
+        values[name] = Var(name, bool_ty)
+        var_names.append(name)
+    for reg in gate.registers.values():
+        values[reg.output] = Var(f"cut.{reg.name}", bool_ty)
+        var_names.append(f"cut.{reg.name}")
+    for cell in gate.topological_cells():
+        values[cell.output] = cell_term(gate, cell, [values[i] for i in cell.inputs])
+    return values, var_names
+
+
+def _assignments(names: List[str]):
+    """All boolean assignments to ``names`` (one dict per vector)."""
+    for bits in range(1 << len(names)):
+        yield {name: bool((bits >> i) & 1) for i, name in enumerate(names)}
+
+
+def _eval_under(term: Term, assignment: Dict[str, bool]) -> Theorem:
+    """``|- term[assignment] = value`` via the worklist evaluation engine."""
+    from ..logic.ground import mk_bool
+
+    env = {Var(name, bool_ty): mk_bool(v) for name, v in assignment.items()}
+    return conv.EVAL_CONV(var_subst(env, term))
+
+
+def is_tautology_by_rewriting(
+    netlist: Netlist, output: Optional[str] = None, max_vectors: int = 4096
+) -> bool:
+    """Kernel-checked tautology test for one output of a combinational circuit.
+
+    Enumerates every input assignment and evaluates the output term with the
+    worklist rewrite engine; each case is a theorem ``|- out[v] = T``.
+    Raises :class:`ValueError` for sequential circuits or when the input
+    space exceeds ``max_vectors``.
+    """
+    gate = _gate_level(netlist)
+    if gate.registers:
+        raise ValueError("is_tautology_by_rewriting: circuit must be combinational")
+    values, var_names = _net_terms(gate)
+    if (1 << len(var_names)) > max_vectors:
+        raise ValueError(
+            f"is_tautology_by_rewriting: 2^{len(var_names)} vectors exceed the "
+            f"budget of {max_vectors}"
+        )
+    out_term = values[output or gate.outputs[0]]
+    for assignment in _assignments(var_names):
+        th = _eval_under(out_term, assignment)
+        if not th.rhs.is_const("T"):
+            return False
+    return True
+
+
+def combinational_equivalent_by_rewriting(
+    a: Netlist,
+    b: Netlist,
+    time_budget: Optional[float] = None,
+    max_vectors: int = 4096,
+) -> VerificationResult:
+    """Kernel-checked combinational equivalence on the rewrite engine.
+
+    The same cut-point discipline as :func:`combinational_equivalent`
+    (registers become free variables keyed by register name), but every
+    comparison is performed inside the logic: for each assignment the output
+    and next-state terms of both circuits are evaluated with
+    ``EVAL_CONV`` and linked into theorems ``|- out_a[v] = out_b[v]``.
+    Exponential in the number of input/cut bits, so bounded by
+    ``max_vectors``; overruns are reported as ``timeout`` (the paper's
+    dashes), not as errors.
+    """
+    start = time.perf_counter()
+    try:
+        gate_a = _gate_level(a)
+        gate_b = _gate_level(b)
+        if sorted(gate_a.inputs) != sorted(gate_b.inputs):
+            raise ValueError("combinational_equivalent_by_rewriting: input mismatch")
+
+        regs_a = {r.name: r for r in gate_a.registers.values()}
+        regs_b = {r.name: r for r in gate_b.registers.values()}
+        mismatches = [
+            f"register {name} present in only one circuit"
+            for name in sorted(set(regs_a) ^ set(regs_b))
+        ]
+        for name in sorted(set(regs_a) & set(regs_b)):
+            if regs_a[name].init != regs_b[name].init:
+                mismatches.append(f"initial value of register {name}")
+        mismatches += [
+            f"output {name} present in only one circuit"
+            for name in sorted(set(gate_a.outputs) ^ set(gate_b.outputs))
+        ]
+
+        vals_a, names_a = _net_terms(gate_a)
+        vals_b, names_b = _net_terms(gate_b)
+        var_names = sorted(set(names_a) | set(names_b))
+        if (1 << len(var_names)) > max_vectors:
+            return VerificationResult(
+                method="tautology-rw",
+                status="timeout",
+                seconds=time.perf_counter() - start,
+                detail=f"2^{len(var_names)} vectors exceed the budget of {max_vectors}",
+            )
+
+        # compare by *name*, not declaration order, like the BDD checker:
+        # shared outputs then shared next-state functions, in sorted order
+        shared_outputs = sorted(set(gate_a.outputs) & set(gate_b.outputs))
+        shared_regs = sorted(set(regs_a) & set(regs_b))
+
+        def compared_terms(gate: Netlist, values: Dict[str, Term]) -> Term:
+            regs = {r.name: r for r in gate.registers.values()}
+            parts = [values[o] for o in shared_outputs]
+            parts += [values[regs[n].input] for n in shared_regs]
+            return mk_tuple(parts)
+
+        term_a = compared_terms(gate_a, vals_a)
+        term_b = compared_terms(gate_b, vals_b)
+
+        theorems = 0
+        counterexample: Optional[Dict[str, bool]] = None
+        if not mismatches:
+            for assignment in _assignments(var_names):
+                if time_budget is not None and time.perf_counter() - start > time_budget:
+                    return VerificationResult(
+                        method="tautology-rw",
+                        status="timeout",
+                        seconds=time.perf_counter() - start,
+                        detail=f"time budget exhausted after {theorems} vectors",
+                    )
+                th_a = _eval_under(term_a, assignment)
+                th_b = _eval_under(term_b, assignment)
+                try:
+                    equal_by_normalisation(th_a, th_b)
+                except RuleError:
+                    counterexample = assignment
+                    mismatches.append(
+                        "outputs/next-state differ under " +
+                        ",".join(f"{k}={int(v)}" for k, v in sorted(assignment.items()))
+                    )
+                    break
+                theorems += 1
+
+        seconds = time.perf_counter() - start
+        if mismatches:
+            return VerificationResult(
+                method="tautology-rw",
+                status="not_equivalent",
+                seconds=seconds,
+                counterexample=counterexample,
+                detail="; ".join(mismatches),
+            )
+        return VerificationResult(
+            method="tautology-rw",
+            status="equivalent",
+            seconds=seconds,
+            detail=f"{theorems} kernel-checked case theorems "
+                   f"over {len(var_names)} input/cut bits",
+        )
+    except (ConvError, KernelError, ValueError) as exc:
+        return VerificationResult(
+            method="tautology-rw",
+            status="error",
             seconds=time.perf_counter() - start,
             detail=str(exc),
         )

@@ -156,6 +156,80 @@ class TestTautology:
         assert result.status == "not_equivalent"
 
 
+class TestTautologyByRewriting:
+    """The kernel-checked variants on the worklist rewrite engine."""
+
+    def _combinational(self, value: bool) -> Netlist:
+        nl = Netlist("taut")
+        nl.add_input("a", 1)
+        nl.add_cell("na", "NOT", ["a"], "na")
+        nl.add_cell("orr", "OR" if value else "AND", ["a", "na"], "y")
+        nl.add_output("y", 1)
+        return nl
+
+    def test_is_tautology_by_rewriting(self):
+        assert tautology.is_tautology_by_rewriting(self._combinational(True))
+        assert not tautology.is_tautology_by_rewriting(self._combinational(False))
+
+    def test_rejects_sequential_and_oversized(self, fig2_small):
+        with pytest.raises(ValueError):
+            tautology.is_tautology_by_rewriting(fig2_small)
+        wide = self._combinational(True)
+        with pytest.raises(ValueError):
+            tautology.is_tautology_by_rewriting(wide, max_vectors=1)
+
+    def test_equivalence_agrees_with_bdd_checker(self, fig2_small):
+        rw = tautology.combinational_equivalent_by_rewriting(fig2_small, figure2(3))
+        bdd = tautology.combinational_equivalent(fig2_small, figure2(3))
+        assert rw.status == bdd.status == "equivalent"
+        assert "kernel-checked" in rw.detail
+
+    def test_limitation_matches_the_bdd_checker(self, fig_pair):
+        # same cut-point discipline, same Section-II limitation
+        rw = tautology.combinational_equivalent_by_rewriting(*fig_pair)
+        assert rw.status == "not_equivalent"
+
+    def test_detects_a_real_mismatch_with_counterexample(self):
+        good = self._combinational(True)
+        bad = self._combinational(False)
+        result = tautology.combinational_equivalent_by_rewriting(good, bad)
+        assert result.status == "not_equivalent"
+        assert result.counterexample is not None
+
+    def test_budget_overrun_reports_timeout(self, fig2_small):
+        result = tautology.combinational_equivalent_by_rewriting(
+            fig2_small, figure2(3), max_vectors=2
+        )
+        assert result.status == "timeout"
+
+    def _two_output(self, flipped: bool) -> Netlist:
+        nl = Netlist("two_out")
+        nl.add_input("a", 1)
+        nl.add_cell("na", "NOT", ["a"], "y")
+        nl.add_cell("bb", "BUF", ["a"], "z")
+        for name in (("z", "y") if flipped else ("y", "z")):
+            nl.add_output(name, 1)
+        return nl
+
+    def test_outputs_matched_by_name_not_declaration_order(self):
+        # identical circuits whose outputs are declared in different order
+        # must agree with the BDD checker (which compares by name)
+        a, b = self._two_output(False), self._two_output(True)
+        rw = tautology.combinational_equivalent_by_rewriting(a, b)
+        bdd = tautology.combinational_equivalent(a, b)
+        assert rw.status == bdd.status == "equivalent"
+
+    def test_missing_output_is_reported(self):
+        a = self._two_output(False)
+        b = Netlist("one_out")
+        b.add_input("a", 1)
+        b.add_cell("na", "NOT", ["a"], "y")
+        b.add_output("y", 1)
+        result = tautology.combinational_equivalent_by_rewriting(a, b)
+        assert result.status == "not_equivalent"
+        assert "output z present in only one circuit" in result.detail
+
+
 class TestRetimingVerify:
     def test_accepts_conventional_retiming(self, fig2_small):
         retimed = apply_forward_retiming(fig2_small, ["inc"])
