@@ -64,6 +64,10 @@ def test_table1_full_shape(benchmark, results_dir, verifier_budget):
 
     # HASH completes everywhere.
     assert all(row.cells["hash"].status == "ok" for row in rows)
+    # The drivers record per-method kernel steps from the structured stats;
+    # the rendered table carries them in the `inferences` column.
+    assert all(row.cells["hash"].stats["kernel_steps"] > 0 for row in rows)
+    assert "inferences" in text
     # The verifiers hit the budget at the largest width (the paper's dash).
     last = rows[-1]
     assert last.cells["sis"].status == "timeout"

@@ -101,6 +101,9 @@ def test_table2_full_shape(benchmark, results_dir, table2_scale, verifier_budget
         fh.write(text + "\n")
 
     assert all(row.cells["hash"].status == "ok" for row in rows)
+    # per-method kernel steps recorded in the `inferences` column
+    assert all(row.cells["hash"].stats["kernel_steps"] > 0 for row in rows)
+    assert "inferences" in text
     statuses = {row.workload.name: {m: row.cells[m].status for m in table2.TABLE2_METHODS}
                 for row in rows}
     # every benchmark is solved by at least one method (HASH), and the table

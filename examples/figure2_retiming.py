@@ -19,7 +19,7 @@ from repro.circuits.generators import figure2, figure2_cut
 from repro.formal import formal_forward_retiming
 from repro.retiming import graph_from_netlist, lags_from_cut, min_period_retiming
 from repro.retiming.apply import apply_forward_retiming
-from repro.verification import fsm_compare, model_checking, retiming_verify, van_eijk
+from repro.verification import get_checker, run_checker
 
 
 def main() -> int:
@@ -58,21 +58,14 @@ def main() -> int:
         print(f"  {key:22s}: {result.stats[key]:.4f} s")
     print(f"  new initial state f(q)  : {result.new_init_value!r}")
 
-    print("\nPost-synthesis verification of the conventional result:")
-    for name, run in (
-        ("SIS-style FSM comparison", lambda: fsm_compare.check_equivalence(
-            circuit, retimed, time_budget=args.budget)),
-        ("SMV-style model checking", lambda: model_checking.check_equivalence(
-            circuit, retimed, time_budget=args.budget)),
-        ("van Eijk", lambda: van_eijk.check_equivalence(
-            circuit, retimed, time_budget=args.budget)),
-        ("van Eijk + dependencies", lambda: van_eijk.check_equivalence(
-            circuit, retimed, exploit_dependencies=True, time_budget=args.budget)),
-        ("structural retiming match", lambda: retiming_verify.check_equivalence(
-            circuit, retimed)),
-    ):
-        verdict = run()
-        print(f"  {name:28s}: {verdict.status:14s} {verdict.seconds:8.3f} s")
+    print("\nPost-synthesis verification of the conventional result")
+    print("(every backend dispatched through the registry):")
+    for method in ("sis", "smv", "eijk", "eijk+", "match"):
+        checker = get_checker(method)
+        verdict = run_checker(method, circuit, retimed, time_budget=args.budget)
+        print(f"  {checker.name:8s} [{checker.kind}]: {verdict.status:14s} "
+              f"{verdict.seconds:8.3f} s  "
+              f"{ {k: round(v, 3) for k, v in sorted(verdict.stats.items()) if k != 'wall_seconds'} }")
     return 0
 
 

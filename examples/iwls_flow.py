@@ -3,16 +3,17 @@
 
 Builds (a scaled-down version of) the synthetic IWLS'91 benchmarks, retimes
 each one along its maximal forward cut, runs the HASH formal step and the
-post-synthesis verifiers, and prints the resulting table — the same code path
-as ``python -m repro.eval.table2`` but sized so it finishes in a couple of
-minutes on a laptop.
+post-synthesis verifiers, and prints the resulting table — the same code
+path as ``python -m repro run --table 2``, sized so it finishes in a couple
+of minutes on a laptop.  ``--jobs`` runs the cells in parallel worker
+subprocesses with the budget enforced as a wall-clock kill.
 
-Run:  python examples/iwls_flow.py [--scale 0.15] [--budget 20]
+Run:  python examples/iwls_flow.py [--scale 0.15] [--budget 20] [--jobs 4]
 """
 
 import argparse
 
-from repro.eval import table2
+from repro.cli import main as cli_main, table_argv
 
 
 def main() -> int:
@@ -21,17 +22,18 @@ def main() -> int:
                         help="scale factor on the published circuit sizes")
     parser.add_argument("--budget", type=float, default=20.0,
                         help="per-verifier wall-clock budget (seconds)")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="parallel worker subprocesses")
     parser.add_argument("--names", nargs="*", default=None,
                         help="subset of benchmarks (default: all ten)")
     args = parser.parse_args()
 
-    rows = table2.run_table2(scale=args.scale, names=args.names,
-                             time_budget=args.budget)
-    print(table2.render(rows))
+    code = cli_main(table_argv(2, args.budget, args.jobs,
+                               scale=args.scale, names=args.names or None))
     print("\nNote: circuits are synthetic stand-ins with the published "
           "flip-flop/gate counts (scaled by "
           f"{args.scale}); see DESIGN.md §5.")
-    return 0
+    return code
 
 
 if __name__ == "__main__":

@@ -1,0 +1,8 @@
+"""``python -m repro`` — entry point for the evaluation CLI."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

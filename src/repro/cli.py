@@ -1,0 +1,220 @@
+"""The ``python -m repro`` command line interface.
+
+One front end for the whole evaluation layer, built on the two registries:
+
+* ``python -m repro run --table 1 --jobs 4`` — regenerate Table I with four
+  parallel worker subprocesses;
+* ``python -m repro run --scenario multiplier --methods smv,hash --budget 10``
+  — measure any registered scenario with any registered backends;
+* ``python -m repro list-backends`` / ``list-scenarios`` — discover what is
+  registered;
+* ``python -m repro ablations`` — the Section-V ablation studies.
+
+``--jobs N`` runs up to ``N`` cells concurrently, each in its own worker
+subprocess with the time budget enforced as a wall-clock kill; results are
+collected in table order, so the output is byte-identical for every
+``--jobs`` value.  ``--no-isolate`` reverts to in-process execution with
+cooperative budget checks (no kills, no parallelism).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Any, Dict, List, Optional, Sequence
+
+from .eval import runner, scenarios, table1, table2
+from .verification import registry
+
+
+def _parse_scalar(text: str) -> Any:
+    low = text.lower()
+    if low in ("none", "null"):
+        return None
+    if low in ("true", "yes", "on"):
+        return True
+    if low in ("false", "no", "off"):
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _parse_param(item: str) -> tuple:
+    """``key=value`` with scalars, or comma-separated lists of scalars."""
+    if "=" not in item:
+        raise argparse.ArgumentTypeError(
+            f"--param expects key=value, got {item!r}"
+        )
+    key, _, raw = item.partition("=")
+    if "," in raw:
+        return key, [_parse_scalar(part) for part in raw.split(",") if part]
+    return key, _parse_scalar(raw)
+
+
+def table_argv(table: int, budget: float, jobs: int, **params: Any) -> List[str]:
+    """Assemble ``main()`` argv for a table run (shared by the legacy
+    ``repro.eval.table1``/``table2`` entry points and the examples)."""
+    argv = ["run", "--table", str(table),
+            "--budget", str(budget), "--jobs", str(jobs)]
+    for key, value in params.items():
+        if value is None:
+            continue
+        if isinstance(value, (list, tuple)):
+            value = ",".join(str(v) for v in value)
+        argv += ["--param", f"{key}={value}"]
+    return argv
+
+
+def _parse_methods(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    methods = [m for m in raw.split(",") if m]
+    for method in methods:
+        registry.get_checker(method)  # raises KeyError with the known list
+    return methods
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    params: Dict[str, Any] = dict(args.param or [])
+    isolate = not args.no_isolate
+    common = dict(
+        time_budget=args.budget,
+        node_budget=args.node_budget,
+        jobs=1 if args.no_isolate else args.jobs,
+        isolate=isolate,
+    )
+    try:
+        methods = _parse_methods(args.methods)
+        if args.table == 1:
+            widths = params.pop("widths", None)
+            no_skip = bool(params.pop("no_skip", False))
+            if params:  # reject leftovers *before* the (expensive) run
+                raise TypeError(f"--table 1 does not accept {sorted(params)}")
+            if widths is not None:
+                widths = [int(n) for n in scenarios.as_seq(widths)]
+            rows = table1.run_table1(
+                widths=widths, methods=methods, skip_hopeless=not no_skip,
+                **common,
+            )
+            print(table1.render(rows, methods=methods))
+        elif args.table == 2:
+            scale = params.pop("scale", 1.0)
+            names = params.pop("names", None)
+            if params:
+                raise TypeError(f"--table 2 does not accept {sorted(params)}")
+            if names is not None:
+                names = [str(n) for n in scenarios.as_seq(names)]
+            rows = table2.run_table2(
+                scale=scale, names=names, methods=methods, **common,
+            )
+            print(table2.render(rows, methods=methods))
+        else:
+            scenario = scenarios.get_scenario(args.scenario)
+            methods = methods or list(scenario.default_methods)
+            workloads = scenarios.build_scenario(args.scenario, **params)
+            rows = runner.run_rows(workloads, methods, **common)
+            print(runner.render_table(
+                rows, methods, title=f"Scenario {scenario.name!r}",
+            ))
+    except (KeyError, TypeError, ValueError) as exc:
+        print(f"error: {exc}", flush=True)
+        return 2
+    return 0
+
+
+def _cmd_list_backends(_args: argparse.Namespace) -> int:
+    for name in registry.available_checkers():
+        checker = registry.get_checker(name)
+        budgets = ", ".join(sorted(checker.accepts))
+        print(f"{name:10s} [{checker.kind}]  {checker.description}")
+        print(f"{'':10s} accepts: {budgets}")
+    return 0
+
+
+def _cmd_list_scenarios(_args: argparse.Namespace) -> int:
+    for name in scenarios.available_scenarios():
+        scenario = scenarios.get_scenario(name)
+        print(f"{name:12s} {scenario.description}")
+        defaults = ", ".join(f"{k}={v!r}" for k, v in scenario.defaults.items())
+        print(f"{'':12s} params : {defaults or '(none)'}")
+        print(f"{'':12s} methods: {', '.join(scenario.default_methods)}")
+    return 0
+
+
+def _cmd_ablations(args: argparse.Namespace) -> int:
+    from .eval import ablations
+
+    if args.which in ("cut-sweep", "all"):
+        print(ablations.render_cut_sweep(ablations.run_cut_sweep()))
+    if args.which == "all":
+        print()
+    if args.which in ("rtl-vs-gate", "all"):
+        print(ablations.render_rtl_vs_gate(ablations.run_rtl_vs_gate()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="regenerate the paper's tables with registered "
+                    "backends/scenarios and a process-isolated parallel runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser(
+        "run", help="measure one table or scenario",
+        description="Measure a registered scenario (or one of the paper's "
+                    "tables) with the requested backends.",
+    )
+    target = run_p.add_mutually_exclusive_group()
+    target.add_argument("--table", type=int, choices=(1, 2),
+                        help="regenerate the paper's Table I or Table II")
+    target.add_argument("--scenario", default="figure2",
+                        help="a registered scenario (see list-scenarios)")
+    run_p.add_argument("--methods", default=None,
+                       help="comma-separated backends (see list-backends); "
+                            "defaults to the table's/scenario's own methods")
+    run_p.add_argument("--jobs", type=int, default=1,
+                       help="max concurrent worker subprocesses (default 1)")
+    run_p.add_argument("--budget", type=float, default=runner.DEFAULT_TIME_BUDGET,
+                       help="per-cell wall-clock budget in seconds; enforced "
+                            "as a hard kill unless --no-isolate")
+    run_p.add_argument("--node-budget", type=int, default=runner.DEFAULT_NODE_BUDGET,
+                       help="per-cell BDD node budget")
+    run_p.add_argument("--param", action="append", type=_parse_param,
+                       metavar="KEY=VALUE",
+                       help="scenario parameter (repeatable), e.g. "
+                            "--param widths=1,2,4 or --param scale=0.2")
+    run_p.add_argument("--no-isolate", action="store_true",
+                       help="run cells in-process with cooperative budgets "
+                            "(implies --jobs 1)")
+    run_p.set_defaults(func=_cmd_run)
+
+    lb = sub.add_parser("list-backends", help="list registered verification backends")
+    lb.set_defaults(func=_cmd_list_backends)
+
+    ls = sub.add_parser("list-scenarios", help="list registered workload scenarios")
+    ls.set_defaults(func=_cmd_list_scenarios)
+
+    ab = sub.add_parser("ablations", help="run the Section-V ablation studies")
+    ab.add_argument("--which", choices=("cut-sweep", "rtl-vs-gate", "all"),
+                    default="all")
+    ab.set_defaults(func=_cmd_ablations)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -11,13 +11,25 @@ from .workloads import (
 from .runner import (
     DEFAULT_NODE_BUDGET,
     DEFAULT_TIME_BUDGET,
+    CellSpec,
     Measurement,
     Row,
     render_table,
+    run_cell,
+    run_cells,
     run_hash,
     run_row,
+    run_rows,
     run_verifier,
 )
-from . import ablations, table1, table2
+from .scenarios import (
+    Scenario,
+    available_scenarios,
+    build_scenario,
+    get_scenario,
+    register_scenario,
+    unregister_scenario,
+)
+from . import ablations, scenarios, table1, table2
 
 __all__ = [name for name in dir() if not name.startswith("_")]

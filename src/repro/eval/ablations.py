@@ -100,10 +100,10 @@ def render_rtl_vs_gate(results: Sequence[LevelComparison]) -> str:
 
 
 def main() -> int:  # pragma: no cover - convenience entry point
-    print(render_cut_sweep(run_cut_sweep()))
-    print()
-    print(render_rtl_vs_gate(run_rtl_vs_gate()))
-    return 0
+    """Thin wrapper over the shared CLI (``python -m repro ablations``)."""
+    from ..cli import main as cli_main
+
+    return cli_main(["ablations"])
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,21 +1,35 @@
 """Measurement runner shared by all table/figure harnesses.
 
-Runs each verification method (and the HASH formal step) on a
-:class:`~repro.eval.workloads.Workload` under a wall-clock budget and
-collects a :class:`Measurement` per cell of the paper's tables.  Timeouts
-and budget overruns are reported as the paper's dash ("could not be
-processed in reasonable time").
+Each cell of the paper's tables is one (workload, method) pair, dispatched
+through the backend registry (:mod:`repro.verification.registry`).  Cells
+can run
+
+* **in-process** (``isolate=False``) — the historical mode, used by the
+  pytest-benchmark harness where the measurement loop must stay in one
+  process, with *cooperative* budget checks inside the checkers; or
+* **process-isolated** (``isolate=True``) — every cell runs in its own
+  worker subprocess, up to ``jobs`` of them concurrently, and the time
+  budget is an *enforced* wall-clock kill: a backend that never polls its
+  budget (or is stuck inside a single huge BDD operation) is terminated at
+  the limit and reported as the paper's dash.
+
+Results are collected by submission index, never by completion order, so a
+table produced with ``jobs=4`` has exactly the same rows, columns and
+statuses as the serial one — the only run-to-run variation is the measured
+wall-clock digits themselves (with deterministic cell results the output
+is byte-identical, which ``tests/eval/test_runner.py`` pins down).
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import time
+from collections import deque
 from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
 from typing import Callable, Dict, List, Optional, Sequence
 
-from ..formal.formal_retiming import FormalSynthesisError, formal_forward_retiming
-from ..verification import fsm_compare, model_checking, retiming_verify, van_eijk
-from ..verification.common import VerificationResult
+from ..verification.registry import get_checker, run_checker
 from .workloads import Workload
 
 
@@ -28,6 +42,9 @@ class Measurement:
     status: str           # "ok" | "timeout" | "failed"
     seconds: float
     detail: str = ""
+    #: structured cost counters from the backend (kernel steps, BDD nodes,
+    #: iterations, ...) — see :class:`repro.verification.common.VerificationResult`.
+    stats: Dict[str, float] = field(default_factory=dict)
 
     def render(self, precision: int = 2) -> str:
         if self.status == "ok":
@@ -41,65 +58,52 @@ class Measurement:
 DEFAULT_TIME_BUDGET = 60.0
 #: default BDD node budget per cell
 DEFAULT_NODE_BUDGET = 2_000_000
+#: slack added to the hard kill deadline, covering worker start-up and the
+#: result hand-over — *not* extra compute time for the checker itself
+KILL_GRACE = 0.5
 
 
-def run_hash(workload: Workload) -> Measurement:
-    """Time the HASH formal retiming step on the workload's cut."""
-    start = time.perf_counter()
-    try:
-        result = formal_forward_retiming(
-            workload.original, workload.cut, cross_check=False
-        )
-        seconds = time.perf_counter() - start
-        return Measurement(
-            workload=workload.name,
-            method="hash",
-            status="ok",
-            seconds=seconds,
-            detail=f"{int(result.stats['inference_steps'])} kernel inferences",
-        )
-    except FormalSynthesisError as exc:
-        return Measurement(
-            workload=workload.name,
-            method="hash",
-            status="failed",
-            seconds=time.perf_counter() - start,
-            detail=str(exc),
-        )
+@dataclass(frozen=True)
+class CellSpec:
+    """One unit of work for :func:`run_cells`."""
+
+    workload: Workload
+    method: str
+    time_budget: float = DEFAULT_TIME_BUDGET
+    node_budget: int = DEFAULT_NODE_BUDGET
 
 
-def _verifier(method: str) -> Callable[..., VerificationResult]:
-    if method == "smv":
-        return model_checking.check_equivalence
-    if method == "sis":
-        return fsm_compare.check_equivalence
-    if method == "eijk":
-        return van_eijk.check_equivalence
-    if method == "eijk+":
-        return lambda a, b, **kw: van_eijk.check_equivalence(
-            a, b, exploit_dependencies=True, **kw
-        )
-    if method == "match":
-        return lambda a, b, **kw: retiming_verify.check_equivalence(
-            a, b, time_budget=kw.get("time_budget")
-        )
-    raise ValueError(f"unknown verification method {method!r}")
-
-
-def run_verifier(
+def run_cell(
     workload: Workload,
     method: str,
     time_budget: float = DEFAULT_TIME_BUDGET,
     node_budget: int = DEFAULT_NODE_BUDGET,
 ) -> Measurement:
-    """Time one post-synthesis verification method on (original, retimed)."""
-    checker = _verifier(method)
-    kwargs = {"time_budget": time_budget}
-    if method in ("smv", "sis", "eijk", "eijk+"):
-        kwargs["node_budget"] = node_budget
+    """Measure one registered method on one workload, in-process.
+
+    Backend exceptions (``VerificationError`` or anything unexpected) never
+    escape: they become a ``status="failed"`` cell so a single bad pairing
+    cannot abort an entire table run.  Unknown method names *do* raise.
+    """
+    get_checker(method)  # unknown methods are a caller error, raised eagerly
     start = time.perf_counter()
-    result = checker(workload.original, workload.retimed, **kwargs)
-    seconds = time.perf_counter() - start
+    try:
+        result = run_checker(
+            method,
+            workload.original,
+            workload.retimed,
+            cut=workload.cut,
+            time_budget=time_budget,
+            node_budget=node_budget,
+        )
+    except Exception as exc:
+        return Measurement(
+            workload=workload.name,
+            method=method,
+            status="failed",
+            seconds=time.perf_counter() - start,
+            detail=f"{type(exc).__name__}: {exc}",
+        )
     if result.status == "equivalent":
         status = "ok"
     elif result.status == "timeout":
@@ -110,9 +114,158 @@ def run_verifier(
         workload=workload.name,
         method=method,
         status=status,
-        seconds=seconds,
+        seconds=result.seconds,
         detail=result.detail,
+        stats=dict(result.stats),
     )
+
+
+def run_hash(workload: Workload) -> Measurement:
+    """Time the HASH formal retiming step on the workload's cut."""
+    return run_cell(workload, "hash")
+
+
+def run_verifier(
+    workload: Workload,
+    method: str,
+    time_budget: float = DEFAULT_TIME_BUDGET,
+    node_budget: int = DEFAULT_NODE_BUDGET,
+) -> Measurement:
+    """Time one post-synthesis verification method on (original, retimed)."""
+    return run_cell(workload, method, time_budget=time_budget, node_budget=node_budget)
+
+
+# ---------------------------------------------------------------------------
+# Process-isolated execution
+# ---------------------------------------------------------------------------
+
+def _mp_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+def _cell_worker(conn, spec: CellSpec) -> None:
+    """Subprocess entry point: run one cell and ship the Measurement back."""
+    try:
+        measurement = run_cell(
+            spec.workload, spec.method, spec.time_budget, spec.node_budget
+        )
+    except BaseException as exc:  # the parent must always receive *something*
+        measurement = Measurement(
+            workload=spec.workload.name,
+            method=spec.method,
+            status="failed",
+            seconds=0.0,
+            detail=f"worker crashed: {type(exc).__name__}: {exc}",
+        )
+    try:
+        conn.send(measurement)
+    finally:
+        conn.close()
+
+
+def _killed_measurement(spec: CellSpec) -> Measurement:
+    return Measurement(
+        workload=spec.workload.name,
+        method=spec.method,
+        status="timeout",
+        seconds=spec.time_budget,
+        detail=f"killed at the wall-clock limit ({spec.time_budget:.1f}s)",
+    )
+
+
+def run_cells(
+    specs: Sequence[CellSpec],
+    jobs: int = 1,
+    isolate: bool = False,
+    grace: float = KILL_GRACE,
+) -> List[Measurement]:
+    """Run many cells, optionally isolated and in parallel.
+
+    With ``isolate=False`` (and necessarily ``jobs=1``) cells run serially
+    in this process.  With ``isolate=True`` each cell gets its own worker
+    subprocess; at most ``jobs`` run concurrently, and a worker still alive
+    ``grace`` seconds past its cell's time budget is terminated and recorded
+    as a timeout.  The returned list always matches ``specs`` order.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    for spec in specs:
+        get_checker(spec.method)  # fail fast on unknown methods
+    if not isolate:
+        if jobs != 1:
+            raise ValueError("parallel execution requires isolate=True")
+        return [
+            run_cell(s.workload, s.method, s.time_budget, s.node_budget)
+            for s in specs
+        ]
+
+    ctx = _mp_context()
+    results: List[Optional[Measurement]] = [None] * len(specs)
+    queue = deque(range(len(specs)))
+    running: Dict[int, tuple] = {}  # index -> (process, connection, deadline)
+
+    try:
+        while queue or running:
+            while queue and len(running) < jobs:
+                index = queue.popleft()
+                spec = specs[index]
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                process = ctx.Process(
+                    target=_cell_worker, args=(child_conn, spec), daemon=True
+                )
+                process.start()
+                child_conn.close()
+                deadline = time.monotonic() + spec.time_budget + grace
+                running[index] = (process, parent_conn, deadline)
+
+            # sleep until either a worker's pipe becomes readable (wait
+            # returns early) or the nearest kill deadline arrives
+            now = time.monotonic()
+            wait_for = min(dl for (_, _, dl) in running.values()) - now
+            ready = mp_connection.wait(
+                [conn for (_, conn, _) in running.values()],
+                timeout=max(0.0, wait_for),
+            )
+            ready_set = set(ready)
+            for index in sorted(running):
+                process, conn, deadline = running[index]
+                if conn in ready_set:
+                    try:
+                        measurement = conn.recv()
+                    except EOFError:
+                        measurement = None
+                    conn.close()
+                    process.join()
+                    if measurement is None:
+                        measurement = Measurement(
+                            workload=specs[index].workload.name,
+                            method=specs[index].method,
+                            status="failed",
+                            seconds=0.0,
+                            detail="worker exited without a result "
+                                   f"(exit code {process.exitcode})",
+                        )
+                    results[index] = measurement
+                    del running[index]
+                elif time.monotonic() >= deadline:
+                    process.terminate()
+                    process.join(1.0)
+                    if process.is_alive():  # pragma: no cover - stubborn worker
+                        process.kill()
+                        process.join()
+                    conn.close()
+                    results[index] = _killed_measurement(specs[index])
+                    del running[index]
+    finally:
+        for process, conn, _ in running.values():
+            process.terminate()
+            conn.close()
+
+    assert all(m is not None for m in results)
+    return results  # type: ignore[return-value]
 
 
 @dataclass
@@ -131,17 +284,38 @@ def run_row(
     methods: Sequence[str],
     time_budget: float = DEFAULT_TIME_BUDGET,
     node_budget: int = DEFAULT_NODE_BUDGET,
+    jobs: int = 1,
+    isolate: Optional[bool] = None,
 ) -> Row:
     """Measure every requested method on one workload."""
-    row = Row(workload=workload)
-    for method in methods:
-        if method == "hash":
-            row.cells[method] = run_hash(workload)
-        else:
-            row.cells[method] = run_verifier(
-                workload, method, time_budget=time_budget, node_budget=node_budget
-            )
-    return row
+    isolate = (jobs > 1) if isolate is None else isolate
+    specs = [CellSpec(workload, m, time_budget, node_budget) for m in methods]
+    measurements = run_cells(specs, jobs=jobs, isolate=isolate)
+    return Row(workload=workload, cells={m.method: m for m in measurements})
+
+
+def run_rows(
+    workloads: Sequence[Workload],
+    methods: Sequence[str],
+    time_budget: float = DEFAULT_TIME_BUDGET,
+    node_budget: int = DEFAULT_NODE_BUDGET,
+    jobs: int = 1,
+    isolate: Optional[bool] = None,
+) -> List[Row]:
+    """Measure a whole table, parallelising across *all* cells of all rows."""
+    isolate = (jobs > 1) if isolate is None else isolate
+    specs = [
+        CellSpec(workload, method, time_budget, node_budget)
+        for workload in workloads
+        for method in methods
+    ]
+    measurements = run_cells(specs, jobs=jobs, isolate=isolate)
+    rows: List[Row] = []
+    per_row = len(methods)
+    for i, workload in enumerate(workloads):
+        chunk = measurements[i * per_row:(i + 1) * per_row]
+        rows.append(Row(workload=workload, cells={m.method: m for m in chunk}))
+    return rows
 
 
 def render_table(
@@ -149,18 +323,39 @@ def render_table(
     methods: Sequence[str],
     title: str,
     extra_columns: Optional[Dict[str, Callable[[Workload], object]]] = None,
+    inference_method: Optional[str] = "hash",
 ) -> str:
-    """Render measurement rows as a fixed-width text table (paper style)."""
+    """Render measurement rows as a fixed-width text table (paper style).
+
+    When ``inference_method`` names a measured method that reports kernel
+    steps (``stats["kernel_steps"]``), an ``inferences`` column records them
+    per row — the kernel-checked cost counter next to the wall-clock times.
+    """
     extra_columns = extra_columns or {
         "flipflops": lambda w: w.flipflops,
         "gates": lambda w: w.gates,
     }
+
+    def inference_cell(row: Row) -> str:
+        cell = row.cells.get(inference_method)
+        if cell is None or "kernel_steps" not in cell.stats:
+            # blank, not "-": the legend defines "-" as a budget timeout
+            return ""
+        return str(int(cell.stats["kernel_steps"]))
+
+    with_inferences = inference_method is not None and any(
+        inference_cell(row) for row in rows
+    )
     headers = ["circuit"] + list(extra_columns) + [m.upper() for m in methods]
+    if with_inferences:
+        headers.append("inferences")
     table: List[List[str]] = [headers]
     for row in rows:
         cells = [row.workload.name]
         cells += [str(fn(row.workload)) for fn in extra_columns.values()]
         cells += [row.cells[m].render() for m in methods]
+        if with_inferences:
+            cells.append(inference_cell(row))
         table.append(cells)
     widths = [max(len(r[i]) for r in table) for i in range(len(headers))]
     lines = [title, "=" * len(title)]
@@ -171,4 +366,7 @@ def render_table(
     lines.append("")
     lines.append("times in seconds; '-' = budget exceeded "
                  "(the paper's 'not processable in reasonable time')")
+    if with_inferences:
+        lines.append(f"inferences = kernel steps of the {inference_method.upper()} "
+                     "proof (from VerificationResult.stats)")
     return "\n".join(lines)

@@ -18,7 +18,7 @@ from __future__ import annotations
 import argparse
 from typing import List, Optional, Sequence
 
-from .runner import DEFAULT_NODE_BUDGET, Row, render_table, run_row
+from .runner import DEFAULT_NODE_BUDGET, Measurement, Row, render_table, run_row
 from .workloads import TABLE1_WIDTHS, TABLE1_WIDTHS_QUICK, table1_workload
 
 #: The methods of Table I, in the paper's column order.
@@ -31,12 +31,17 @@ def run_table1(
     time_budget: float = 30.0,
     node_budget: int = DEFAULT_NODE_BUDGET,
     skip_hopeless: bool = True,
+    jobs: int = 1,
+    isolate: Optional[bool] = None,
 ) -> List[Row]:
     """Measure Table I.
 
     ``skip_hopeless`` stops calling a verifier on larger widths once it has
     timed out twice in a row (exactly how one would run the original tools);
-    the skipped cells are reported as timeouts.
+    the skipped cells are reported as timeouts.  With ``jobs > 1`` the cells
+    of one row run in parallel worker subprocesses; the skip decisions are
+    taken between rows from complete row results, so the produced table is
+    identical for every ``jobs`` setting.
     """
     widths = list(widths if widths is not None else TABLE1_WIDTHS)
     methods = list(methods if methods is not None else TABLE1_METHODS)
@@ -44,21 +49,21 @@ def run_table1(
     consecutive_timeouts = {m: 0 for m in methods}
     for n in widths:
         workload = table1_workload(n)
-        row = Row(workload=workload)
-        for method in methods:
-            if skip_hopeless and method != "hash" and consecutive_timeouts[method] >= 2:
-                from .runner import Measurement
-
-                row.cells[method] = Measurement(
-                    workload=workload.name, method=method, status="timeout",
-                    seconds=time_budget, detail="skipped after repeated timeouts",
-                )
-                continue
-            measured = run_row(workload, [method], time_budget=time_budget,
-                               node_budget=node_budget).cells[method]
-            row.cells[method] = measured
+        skipped = [
+            m for m in methods
+            if skip_hopeless and m != "hash" and consecutive_timeouts[m] >= 2
+        ]
+        to_run = [m for m in methods if m not in skipped]
+        row = run_row(workload, to_run, time_budget=time_budget,
+                      node_budget=node_budget, jobs=jobs, isolate=isolate)
+        for method in skipped:
+            row.cells[method] = Measurement(
+                workload=workload.name, method=method, status="timeout",
+                seconds=time_budget, detail="skipped after repeated timeouts",
+            )
+        for method in to_run:
             if method != "hash":
-                if measured.status == "timeout":
+                if row.cells[method].status == "timeout":
                     consecutive_timeouts[method] += 1
                 else:
                     consecutive_timeouts[method] = 0
@@ -81,18 +86,22 @@ def render(rows: Sequence[Row], methods: Optional[Sequence[str]] = None) -> str:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Thin wrapper over the shared CLI (``python -m repro run --table 1``)."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="use the short width sweep and a small budget")
     parser.add_argument("--budget", type=float, default=30.0,
                         help="per-cell wall-clock budget in seconds")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="number of parallel worker subprocesses")
     parser.add_argument("--widths", type=int, nargs="*", default=None)
     args = parser.parse_args(argv)
     widths = args.widths or (TABLE1_WIDTHS_QUICK if args.quick else TABLE1_WIDTHS)
     budget = min(args.budget, 10.0) if args.quick else args.budget
-    rows = run_table1(widths=widths, time_budget=budget)
-    print(render(rows))
-    return 0
+
+    from ..cli import main as cli_main, table_argv
+
+    return cli_main(table_argv(1, budget, args.jobs, widths=widths))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,7 +22,7 @@ from __future__ import annotations
 import argparse
 from typing import List, Optional, Sequence
 
-from .runner import DEFAULT_NODE_BUDGET, Row, render_table, run_row
+from .runner import DEFAULT_NODE_BUDGET, Row, render_table, run_rows
 from .workloads import table2_workloads
 
 #: The methods of Table II, in the paper's column order.
@@ -35,16 +35,19 @@ def run_table2(
     methods: Optional[Sequence[str]] = None,
     time_budget: float = 60.0,
     node_budget: int = DEFAULT_NODE_BUDGET,
+    jobs: int = 1,
+    isolate: Optional[bool] = None,
 ) -> List[Row]:
-    """Measure Table II (optionally on a scaled-down suite)."""
+    """Measure Table II (optionally on a scaled-down suite).
+
+    With ``jobs > 1`` every cell of the whole table runs in a worker
+    subprocess, up to ``jobs`` concurrently, with enforced wall-clock kills;
+    results are collected in table order regardless of completion order.
+    """
     methods = list(methods if methods is not None else TABLE2_METHODS)
-    rows: List[Row] = []
-    for workload in table2_workloads(scale=scale, names=names):
-        rows.append(
-            run_row(workload, methods, time_budget=time_budget,
-                    node_budget=node_budget)
-        )
-    return rows
+    workloads = table2_workloads(scale=scale, names=names)
+    return run_rows(workloads, methods, time_budget=time_budget,
+                    node_budget=node_budget, jobs=jobs, isolate=isolate)
 
 
 def render(rows: Sequence[Row], methods: Optional[Sequence[str]] = None) -> str:
@@ -57,17 +60,22 @@ def render(rows: Sequence[Row], methods: Optional[Sequence[str]] = None) -> str:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Thin wrapper over the shared CLI (``python -m repro run --table 2``)."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=1.0,
                         help="scale factor on flip-flop / gate counts")
     parser.add_argument("--budget", type=float, default=60.0,
                         help="per-cell wall-clock budget in seconds")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="number of parallel worker subprocesses")
     parser.add_argument("--names", nargs="*", default=None,
                         help="restrict to the named benchmarks")
     args = parser.parse_args(argv)
-    rows = run_table2(scale=args.scale, names=args.names, time_budget=args.budget)
-    print(render(rows))
-    return 0
+
+    from ..cli import main as cli_main, table_argv
+
+    return cli_main(table_argv(2, args.budget, args.jobs,
+                               scale=args.scale, names=args.names or None))
 
 
 if __name__ == "__main__":  # pragma: no cover

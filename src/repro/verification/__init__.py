@@ -14,7 +14,10 @@ Tables I/II):
   and without functional-dependency exploitation (the "Eijk"/"Eijk+"
   columns);
 * :mod:`repro.verification.retiming_verify` — structural matching specialised
-  to pure retiming (reference [8] of the paper).
+  to pure retiming (reference [8] of the paper);
+* :mod:`repro.verification.registry` — the declarative backend registry the
+  evaluation layer dispatches through (``smv``, ``sis``, ``eijk``, ``eijk+``,
+  ``match``, ``taut``, ``taut-rw``, ``hash``).
 """
 
 from .bdd import FALSE, TRUE, BddBudgetExceeded, BddError, BddManager, build_from_table
@@ -28,6 +31,14 @@ from .common import (
     compile_fsm,
     product_fsm,
 )
-from . import fsm_compare, model_checking, retiming_verify, tautology, van_eijk
+from .registry import (
+    Checker,
+    available_checkers,
+    get_checker,
+    register_checker,
+    run_checker,
+    unregister_checker,
+)
+from . import fsm_compare, model_checking, registry, retiming_verify, tautology, van_eijk
 
 __all__ = [name for name in dir() if not name.startswith("_")]

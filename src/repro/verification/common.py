@@ -31,7 +31,14 @@ class VerificationError(Exception):
 
 @dataclass
 class VerificationResult:
-    """Outcome of a verification run (one cell of Table I / Table II)."""
+    """Outcome of a verification run (one cell of Table I / Table II).
+
+    ``stats`` carries the method's structured cost counters — BDD nodes,
+    traversal iterations, kernel inference steps, wall time — keyed by the
+    canonical names ``peak_nodes`` / ``iterations`` / ``kernel_steps`` /
+    ``wall_seconds`` (plus method-specific extras).  Harnesses should read
+    ``stats`` rather than parse the human-oriented ``detail`` string.
+    """
 
     method: str
     status: str                    # "equivalent" | "not_equivalent" | "timeout" | "error"
@@ -40,6 +47,14 @@ class VerificationResult:
     peak_nodes: int = 0
     counterexample: Optional[Dict[str, bool]] = None
     detail: str = ""
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.stats.setdefault("wall_seconds", self.seconds)
+        if self.iterations:
+            self.stats.setdefault("iterations", float(self.iterations))
+        if self.peak_nodes:
+            self.stats.setdefault("peak_nodes", float(self.peak_nodes))
 
     @property
     def ok(self) -> bool:

@@ -1,0 +1,225 @@
+"""Declarative registry of verification backends.
+
+Every method the evaluation layer can run — the four post-synthesis
+equivalence checkers of the paper's tables, the structural matcher, the
+tautology checkers and the HASH formal step itself — is described by one
+:class:`Checker` entry.  Adding a backend is a one-site change: write a
+function returning a :class:`~repro.verification.common.VerificationResult`
+and call :func:`register_checker` (or use it as a decorator).
+
+The registry normalises the calling convention.  All backends are invoked
+through :func:`run_checker` as ``(original, retimed)`` pairs; budget keyword
+arguments are filtered against the set each backend actually honours
+(``Checker.accepts``), so callers can always pass both ``time_budget`` and
+``node_budget`` without tracking per-method signatures.  Synthesis-style
+backends (``needs_cut=True``, currently HASH) additionally receive the
+retiming ``cut`` — they re-perform the synthesis formally instead of
+checking the conventional result.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence
+
+from ..circuits.netlist import Netlist
+from . import fsm_compare, model_checking, retiming_verify, tautology, van_eijk
+from .common import VerificationError, VerificationResult
+
+
+@dataclass(frozen=True)
+class Checker:
+    """Descriptor of one verification backend."""
+
+    name: str
+    fn: Callable[..., VerificationResult]
+    description: str
+    #: keyword arguments the callable honours (budgets and tuning knobs);
+    #: everything else passed to :func:`run_checker` is silently dropped.
+    accepts: FrozenSet[str]
+    #: synthesis-style backends consume the retiming cut instead of only
+    #: comparing against the conventionally retimed circuit.
+    needs_cut: bool = False
+    #: "verifier" (post-synthesis check) or "synthesis" (formal step).
+    kind: str = "verifier"
+
+
+_CHECKERS: Dict[str, Checker] = {}
+
+
+def register_checker(
+    name: str,
+    fn: Optional[Callable[..., VerificationResult]] = None,
+    *,
+    description: str = "",
+    accepts: Sequence[str] = ("time_budget",),
+    needs_cut: bool = False,
+    kind: str = "verifier",
+    replace: bool = False,
+):
+    """Register a backend; usable directly or as a decorator.
+
+    ``replace=True`` allows overwriting an existing entry (used by tests to
+    install stubs); otherwise a duplicate name is an error.
+    """
+
+    def _register(func: Callable[..., VerificationResult]):
+        if not replace and name in _CHECKERS:
+            raise ValueError(f"checker {name!r} is already registered")
+        _CHECKERS[name] = Checker(
+            name=name,
+            fn=func,
+            description=description,
+            accepts=frozenset(accepts),
+            needs_cut=needs_cut,
+            kind=kind,
+        )
+        return func
+
+    if fn is not None:
+        return _register(fn)
+    return _register
+
+
+def unregister_checker(name: str) -> None:
+    _CHECKERS.pop(name, None)
+
+
+def get_checker(name: str) -> Checker:
+    try:
+        return _CHECKERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown verification backend {name!r}; "
+            f"known: {', '.join(available_checkers())}"
+        ) from None
+
+
+def available_checkers() -> List[str]:
+    return sorted(_CHECKERS)
+
+
+def run_checker(
+    name: str,
+    original: Netlist,
+    retimed: Netlist,
+    *,
+    cut: Optional[Sequence[str]] = None,
+    time_budget: Optional[float] = None,
+    node_budget: Optional[int] = None,
+    **extra,
+) -> VerificationResult:
+    """Run one registered backend with the uniform calling convention."""
+    checker = get_checker(name)
+    kwargs = dict(extra)
+    kwargs["time_budget"] = time_budget
+    kwargs["node_budget"] = node_budget
+    if checker.needs_cut:
+        kwargs["cut"] = cut
+    kwargs = {
+        k: v for k, v in kwargs.items() if k in checker.accepts and v is not None
+    }
+    return checker.fn(original, retimed, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Adapters for backends whose native signature is not (original, retimed)
+# ---------------------------------------------------------------------------
+
+def _eijk_plus(original: Netlist, retimed: Netlist, **kwargs) -> VerificationResult:
+    return van_eijk.check_equivalence(
+        original, retimed, exploit_dependencies=True, **kwargs
+    )
+
+
+def _hash_formal(
+    original: Netlist,
+    retimed: Netlist,
+    cut: Optional[Sequence[str]] = None,
+    time_budget: Optional[float] = None,
+) -> VerificationResult:
+    """The HASH formal retiming step, reported as a VerificationResult.
+
+    HASH does not *check* the conventional result — it re-derives the
+    retimed circuit with a kernel proof, so success means
+    correctness-by-construction.  It has no cooperative budget polling; the
+    process-isolated runner enforces ``time_budget`` as a wall-clock kill.
+    """
+    from ..formal.formal_retiming import FormalSynthesisError, formal_forward_retiming
+
+    start = time.perf_counter()
+    if not cut:
+        raise VerificationError("hash: the retiming cut is required")
+    try:
+        result = formal_forward_retiming(original, list(cut), cross_check=False)
+    except FormalSynthesisError as exc:
+        return VerificationResult(
+            method="hash",
+            status="error",
+            seconds=time.perf_counter() - start,
+            detail=str(exc),
+        )
+    stats = {k: float(v) for k, v in result.stats.items()}
+    stats["kernel_steps"] = stats.get("inference_steps", 0.0)
+    return VerificationResult(
+        method="hash",
+        status="equivalent",
+        seconds=stats.get("total_seconds", time.perf_counter() - start),
+        detail=f"{int(stats['kernel_steps'])} kernel inferences",
+        stats=stats,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The built-in backends, registered declaratively
+# ---------------------------------------------------------------------------
+
+register_checker(
+    "smv", model_checking.check_equivalence,
+    description="SMV-style symbolic model checking (monolithic transition "
+                "relation, breadth-first product traversal)",
+    accepts=("time_budget", "node_budget"),
+)
+register_checker(
+    "sis", fsm_compare.check_equivalence,
+    description="SIS-style FSM comparison (functional image computation, "
+                "on-the-fly invariant check)",
+    accepts=("time_budget", "node_budget"),
+)
+register_checker(
+    "eijk", van_eijk.check_equivalence,
+    description="van Eijk signal-correspondence induction",
+    accepts=("time_budget", "node_budget", "simulation_cycles", "seed"),
+)
+register_checker(
+    "eijk+", _eijk_plus,
+    description="van Eijk with functional-dependency exploitation",
+    accepts=("time_budget", "node_budget", "simulation_cycles", "seed"),
+)
+register_checker(
+    "match", retiming_verify.check_equivalence,
+    description="structural retiming matching (Leiserson-Saxe lag recovery; "
+                "limited to pure retiming)",
+    accepts=("time_budget", "check_cycles"),
+)
+register_checker(
+    "taut", tautology.combinational_equivalent,
+    description="BDD combinational equivalence with registers as cut points "
+                "(same-state-representation restriction)",
+    accepts=("time_budget", "node_budget"),
+)
+register_checker(
+    "taut-rw", tautology.combinational_equivalent_by_rewriting,
+    description="kernel-checked combinational equivalence on the worklist "
+                "rewrite engine (every case a theorem)",
+    accepts=("time_budget", "max_vectors"),
+)
+register_checker(
+    "hash", _hash_formal,
+    description="the HASH formal retiming step itself "
+                "(correct-by-construction; proves while synthesising)",
+    accepts=("time_budget", "cut"),
+    needs_cut=True,
+    kind="synthesis",
+)

@@ -133,12 +133,13 @@ def check_equivalence(
     """Structural verification that ``retimed`` is a retiming of ``original``."""
     start = time.perf_counter()
 
-    def done(status: str, detail: str) -> VerificationResult:
+    def done(status: str, detail: str, **stats: float) -> VerificationResult:
         return VerificationResult(
             method="retiming-match",
             status=status,
             seconds=time.perf_counter() - start,
             detail=detail,
+            stats={k: float(v) for k, v in stats.items()},
         )
 
     # 1. interface and combinational structure must match
@@ -189,4 +190,6 @@ def check_equivalence(
         + (f"on {len(moved)} cells ({', '.join(moved[:6])}...)" if len(moved) > 6
            else f"{ {name: lags[name] for name in moved} }")
         + "; initial values consistent",
+        moved_cells=len(moved),
+        edges=len(edges_a),
     )

@@ -35,7 +35,7 @@ from ..circuits.netlist import Netlist
 from ..logic import conv
 from ..logic.conv import ConvError
 from ..logic.hol_types import bool_ty
-from ..logic.kernel import KernelError, Theorem
+from ..logic.kernel import KernelError, Theorem, inference_steps
 from ..logic.rules import RuleError, equal_by_normalisation
 from ..logic.stdlib import ensure_stdlib
 from ..logic.terms import Term, Var, mk_tuple, var_subst
@@ -244,6 +244,7 @@ def combinational_equivalent_by_rewriting(
     dashes), not as errors.
     """
     start = time.perf_counter()
+    steps_before = inference_steps()
     try:
         gate_a = _gate_level(a)
         gate_b = _gate_level(b)
@@ -299,6 +300,10 @@ def combinational_equivalent_by_rewriting(
                         status="timeout",
                         seconds=time.perf_counter() - start,
                         detail=f"time budget exhausted after {theorems} vectors",
+                        stats={
+                            "vectors": float(theorems),
+                            "kernel_steps": float(inference_steps() - steps_before),
+                        },
                     )
                 th_a = _eval_under(term_a, assignment)
                 th_b = _eval_under(term_b, assignment)
@@ -314,6 +319,10 @@ def combinational_equivalent_by_rewriting(
                 theorems += 1
 
         seconds = time.perf_counter() - start
+        stats = {
+            "vectors": float(theorems),
+            "kernel_steps": float(inference_steps() - steps_before),
+        }
         if mismatches:
             return VerificationResult(
                 method="tautology-rw",
@@ -321,6 +330,7 @@ def combinational_equivalent_by_rewriting(
                 seconds=seconds,
                 counterexample=counterexample,
                 detail="; ".join(mismatches),
+                stats=stats,
             )
         return VerificationResult(
             method="tautology-rw",
@@ -328,6 +338,7 @@ def combinational_equivalent_by_rewriting(
             seconds=seconds,
             detail=f"{theorems} kernel-checked case theorems "
                    f"over {len(var_names)} input/cut bits",
+            stats=stats,
         )
     except (ConvError, KernelError, ValueError) as exc:
         return VerificationResult(

@@ -258,16 +258,23 @@ def check_equivalence(
         )
         if exploit_dependencies:
             detail += f", {merged_vars} dependent registers eliminated"
+        stats = {
+            "corresponding_signals": float(sum(len(g) for g in classes)),
+            "classes": float(len(classes)),
+            "merged_registers": float(merged_vars),
+        }
         if proved:
             return VerificationResult(
                 method=method, status="equivalent", seconds=seconds,
                 iterations=iterations, peak_nodes=m.num_nodes, detail=detail,
+                stats=stats,
             )
         return VerificationResult(
             method=method, status="not_equivalent", seconds=seconds,
             iterations=iterations, peak_nodes=m.num_nodes,
             detail="output correspondence not inductively provable "
                    "(incomplete method or genuinely inequivalent); " + detail,
+            stats=stats,
         )
     except (TimeoutBudgetExceeded, BddBudgetExceeded) as exc:
         return VerificationResult(

@@ -1,0 +1,124 @@
+"""Tests for the ``python -m repro`` command line interface."""
+
+import pytest
+
+from repro.cli import _parse_param, main
+
+
+class TestParamParsing:
+    def test_scalars(self):
+        assert _parse_param("widths=2") == ("widths", 2)
+        assert _parse_param("scale=0.5") == ("scale", 0.5)
+        assert _parse_param("names=s344") == ("names", "s344")
+        assert _parse_param("names=none") == ("names", None)
+
+    def test_booleans(self):
+        # "false" must parse as False, not as a truthy string
+        assert _parse_param("no_skip=false") == ("no_skip", False)
+        assert _parse_param("no_skip=true") == ("no_skip", True)
+
+    def test_lists(self):
+        assert _parse_param("widths=1,2,4") == ("widths", [1, 2, 4])
+        assert _parse_param("names=s344,s382") == ("names", ["s344", "s382"])
+
+
+class TestListing:
+    def test_list_backends(self, capsys):
+        assert main(["list-backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("smv", "sis", "eijk", "eijk+", "match", "hash", "taut-rw"):
+            assert name in out
+        assert "synthesis" in out  # hash's kind is shown
+
+    def test_list_scenarios(self, capsys):
+        assert main(["list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("figure2", "iwls", "counters", "multiplier", "random_seq"):
+            assert name in out
+        assert "widths" in out  # parameters are shown
+
+
+class TestRun:
+    def test_run_scenario_with_params_and_jobs(self, capsys):
+        code = main(["run", "--scenario", "multiplier", "--param", "widths=3",
+                     "--methods", "match,hash", "--jobs", "2", "--budget", "30"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Scenario 'multiplier'" in out
+        assert "fracmul_3bit" in out
+        assert "MATCH" in out and "HASH" in out
+        assert "inferences" in out  # kernel steps column from hash stats
+
+    def test_run_table1_in_process(self, capsys):
+        code = main(["run", "--table", "1", "--param", "widths=1,2",
+                     "--budget", "20", "--no-isolate"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table I" in out
+        assert "figure2 n=2" in out
+
+    def test_run_table1_scalar_width(self, capsys):
+        # a single-valued widths param parses as a bare int and must still work
+        code = main(["run", "--table", "1", "--param", "widths=1",
+                     "--methods", "hash", "--budget", "10", "--no-isolate"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "figure2 n=1" in out
+
+    def test_table2_names_match_exactly_not_by_substring(self, capsys):
+        # a scalar names param must select by exact benchmark name: the
+        # non-existent 's344extra' selects nothing (not s344 by substring)
+        code = main(["run", "--table", "2", "--param", "names=s344extra",
+                     "--param", "scale=0.05", "--methods", "match",
+                     "--no-isolate"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "s344" not in out
+
+    def test_run_table2_restricted(self, capsys):
+        code = main(["run", "--table", "2", "--param", "scale=0.05",
+                     "--param", "names=s344", "--methods", "match,hash",
+                     "--jobs", "2", "--budget", "20"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table II" in out
+        assert "s344" in out
+
+
+class TestErrors:
+    def test_unknown_method_exits_2(self, capsys):
+        code = main(["run", "--scenario", "figure2", "--methods", "nope"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "unknown verification backend" in out
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        code = main(["run", "--scenario", "nope"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "unknown scenario" in out
+
+    def test_unknown_param_exits_2(self, capsys):
+        code = main(["run", "--scenario", "figure2", "--param", "depth=3"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "does not accept" in out
+
+    def test_unknown_table_param_rejected_before_measuring(self, capsys, monkeypatch):
+        # leftover params must be rejected *before* the table is run, so a
+        # typo cannot discard minutes of measurement
+        from repro.eval import table1
+
+        def never_called(*a, **k):  # pragma: no cover - guards the test
+            raise AssertionError("run_table1 must not run with bogus params")
+
+        monkeypatch.setattr(table1, "run_table1", never_called)
+        code = main(["run", "--table", "1", "--param", "widths=1",
+                     "--param", "bogus=1"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "does not accept" in out
+
+    def test_malformed_param_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--param", "widths"])

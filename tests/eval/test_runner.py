@@ -1,0 +1,229 @@
+"""Tests for the process-isolated measurement runner.
+
+Covers the timeout / failed / budget paths, ``Measurement.render``, the
+enforced wall-clock kill and the serial-vs-parallel determinism guarantee.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.circuits.generators import counter
+from repro.eval.runner import (
+    CellSpec,
+    Measurement,
+    render_table,
+    run_cell,
+    run_cells,
+    run_row,
+    run_rows,
+    run_verifier,
+)
+from repro.eval.scenarios import build_scenario
+from repro.eval.workloads import Workload, table1_workload
+from repro.verification.common import VerificationError, VerificationResult
+from repro.verification.registry import register_checker, unregister_checker
+
+needs_fork = pytest.mark.skipif(
+    not hasattr(os, "fork"),
+    reason="stub backends only reach isolated workers via fork",
+)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic stub backends (registered for this module only)
+# ---------------------------------------------------------------------------
+
+def _stub_ok(original, retimed, time_budget=None):
+    return VerificationResult(method="stub-ok", status="equivalent",
+                              seconds=1.23, detail="stubbed",
+                              stats={"kernel_steps": 42.0})
+
+
+def _stub_coop_timeout(original, retimed, time_budget=None):
+    return VerificationResult(method="stub-to", status="timeout",
+                              seconds=float(time_budget or 0.0),
+                              detail="cooperative budget check fired")
+
+
+def _stub_raise(original, retimed, time_budget=None):
+    raise VerificationError("boom: malformed problem")
+
+
+def _stub_crash(original, retimed, time_budget=None):
+    raise RuntimeError("unexpected checker bug")
+
+
+def _stub_sleep(original, retimed, time_budget=None):
+    time.sleep(300)  # never polls any budget
+
+
+def _stub_die(original, retimed, time_budget=None):
+    os._exit(3)  # simulates a segfaulting / OOM-killed worker
+
+
+_STUBS = {
+    "stub-ok": _stub_ok,
+    "stub-to": _stub_coop_timeout,
+    "stub-raise": _stub_raise,
+    "stub-crash": _stub_crash,
+    "stub-sleep": _stub_sleep,
+    "stub-die": _stub_die,
+}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def stub_backends():
+    for name, fn in _STUBS.items():
+        register_checker(name, fn, accepts=("time_budget",), replace=True)
+    yield
+    for name in _STUBS:
+        unregister_checker(name)
+
+
+@pytest.fixture(scope="module")
+def tiny_workload():
+    return table1_workload(1)
+
+
+class TestMeasurementRender:
+    def test_ok_renders_seconds(self):
+        m = Measurement("w", "m", "ok", 1.2345)
+        assert m.render() == "1.23"
+        assert m.render(precision=3) == "1.234"
+
+    def test_timeout_renders_dash(self):
+        assert Measurement("w", "m", "timeout", 60.0).render() == "-"
+
+    def test_failed_renders_question_mark(self):
+        assert Measurement("w", "m", "failed", 0.1).render() == "?"
+
+
+class TestRunCellPaths:
+    def test_ok_path_copies_structured_stats(self, tiny_workload):
+        m = run_cell(tiny_workload, "stub-ok")
+        assert (m.status, m.seconds) == ("ok", 1.23)
+        assert m.stats["kernel_steps"] == 42.0
+
+    def test_cooperative_timeout_path(self, tiny_workload):
+        m = run_cell(tiny_workload, "stub-to", time_budget=7.0)
+        assert m.status == "timeout"
+        assert m.seconds == 7.0
+
+    def test_verification_error_becomes_failed_cell(self, tiny_workload):
+        # the PR-3 bugfix: a raising checker must not abort the table run
+        m = run_cell(tiny_workload, "stub-raise")
+        assert m.status == "failed"
+        assert "VerificationError" in m.detail and "boom" in m.detail
+
+    def test_unexpected_exception_becomes_failed_cell(self, tiny_workload):
+        m = run_cell(tiny_workload, "stub-crash")
+        assert m.status == "failed"
+        assert "RuntimeError" in m.detail
+
+    def test_interface_mismatch_becomes_failed_cell(self, tiny_workload):
+        # a real VerificationError out of product_fsm (input mismatch)
+        bad = Workload(name="bad", original=tiny_workload.original,
+                       cut=tiny_workload.cut, retimed=counter(2))
+        m = run_verifier(bad, "smv", time_budget=10)
+        assert m.status == "failed"
+        assert "mismatch" in m.detail
+
+    def test_node_budget_overrun_is_a_timeout(self):
+        workload = table1_workload(8)
+        m = run_cell(workload, "smv", time_budget=60, node_budget=100)
+        assert m.status == "timeout"
+        assert "node" in m.detail.lower()
+
+    def test_unknown_method_raises_eagerly(self, tiny_workload):
+        with pytest.raises(KeyError, match="unknown verification backend"):
+            run_cell(tiny_workload, "nope")
+        with pytest.raises(KeyError):
+            run_cells([CellSpec(tiny_workload, "nope")])
+
+
+@needs_fork
+class TestIsolatedExecution:
+    def test_non_cooperative_checker_killed_at_wall_clock_limit(self, tiny_workload):
+        start = time.monotonic()
+        (m,) = run_cells([CellSpec(tiny_workload, "stub-sleep", time_budget=1.0)],
+                         jobs=1, isolate=True)
+        elapsed = time.monotonic() - start
+        assert m.status == "timeout"
+        assert "wall-clock" in m.detail
+        assert m.seconds == 1.0
+        # killed promptly (budget + grace + scheduling slack), nowhere near
+        # the 300s the stub would cooperatively take
+        assert elapsed < 5.0
+
+    def test_dead_worker_reported_as_failed(self, tiny_workload):
+        (m,) = run_cells([CellSpec(tiny_workload, "stub-die", time_budget=10.0)],
+                         jobs=1, isolate=True)
+        assert m.status == "failed"
+        assert "exit code 3" in m.detail
+
+    def test_results_follow_submission_order_not_completion_order(self, tiny_workload):
+        specs = [
+            CellSpec(tiny_workload, "stub-sleep", time_budget=1.0),  # finishes last
+            CellSpec(tiny_workload, "stub-ok", time_budget=10.0),    # finishes first
+        ]
+        results = run_cells(specs, jobs=2, isolate=True)
+        assert [m.method for m in results] == ["stub-sleep", "stub-ok"]
+        assert [m.status for m in results] == ["timeout", "ok"]
+
+    def test_parallel_requires_isolation(self, tiny_workload):
+        with pytest.raises(ValueError, match="isolate"):
+            run_cells([CellSpec(tiny_workload, "stub-ok")], jobs=2, isolate=False)
+
+
+@needs_fork
+class TestDeterminism:
+    METHODS = ["stub-ok", "stub-to"]
+
+    def _render(self, jobs: int) -> str:
+        workloads = build_scenario("figure2", widths=[1, 2, 3])
+        rows = run_rows(workloads, self.METHODS, time_budget=5.0,
+                        jobs=jobs, isolate=True)
+        return render_table(rows, self.METHODS, title="determinism",
+                            inference_method="stub-ok")
+
+    def test_serial_and_parallel_tables_are_byte_identical(self):
+        assert self._render(jobs=1) == self._render(jobs=4)
+
+    def test_inferences_column_rendered_from_stats(self):
+        text = self._render(jobs=4)
+        assert "inferences" in text
+        assert "42" in text
+
+
+class TestRowAssembly:
+    def test_run_row_in_process(self, tiny_workload):
+        row = run_row(tiny_workload, ["stub-ok", "stub-to"], time_budget=2.0)
+        assert set(row.cells) == {"stub-ok", "stub-to"}
+        assert row.cell("stub-ok").status == "ok"
+
+    @needs_fork
+    def test_run_rows_reassembles_by_workload(self):
+        workloads = build_scenario("figure2", widths=[1, 2])
+        rows = run_rows(workloads, ["stub-ok"], jobs=2, isolate=True)
+        assert [r.workload.name for r in rows] == ["figure2 n=1", "figure2 n=2"]
+        assert all(r.cells["stub-ok"].workload == r.workload.name for r in rows)
+
+
+class TestRealBackendsThroughRunner:
+    def test_hash_records_kernel_steps(self, tiny_workload):
+        m = run_cell(tiny_workload, "hash")
+        assert m.status == "ok"
+        assert m.stats["kernel_steps"] > 0
+
+    @needs_fork
+    def test_isolated_real_row_matches_in_process_statuses(self):
+        workload = table1_workload(2)
+        methods = ["sis", "smv", "match", "hash"]
+        in_proc = run_row(workload, methods, time_budget=30)
+        isolated = run_row(workload, methods, time_budget=30, jobs=4, isolate=True)
+        assert {m: c.status for m, c in in_proc.cells.items()} == \
+               {m: c.status for m, c in isolated.cells.items()}
+        assert in_proc.cells["hash"].stats["kernel_steps"] == \
+               isolated.cells["hash"].stats["kernel_steps"]
