@@ -1,15 +1,17 @@
-"""Compare a benchmark run's kernel-step counts against the committed baseline.
+"""Compare a benchmark run's deterministic counters against the committed baseline.
 
 Usage::
 
     python benchmarks/compare_baseline.py BENCH_baseline.json BENCH_ci.json
 
-Both files are pytest-benchmark JSON records; the quantity compared is
-``extra_info["kernel_steps"]`` (kernel inferences are deterministic, unlike
-wall-clock times, so the comparison is machine-independent).  The script
-exits non-zero when any benchmark present in both files regresses by more
-than ``--tolerance`` (default 10%); new benchmarks and benchmarks without a
-``kernel_steps`` record are reported but never fail the run.
+Both files are pytest-benchmark JSON records; the quantities compared are
+the deterministic cost counters each benchmark stores in ``extra_info`` —
+``kernel_steps`` (kernel inferences), ``peak_nodes`` and ``ite_calls``
+(BDD engine work).  All are machine-independent, unlike wall-clock times,
+so the comparison is stable across CI runners.  The script exits non-zero
+when any counter of a benchmark present in both files regresses by more
+than ``--tolerance`` (default 10%); new benchmarks, new counters and
+benchmarks without tracked counters are reported but never fail the run.
 
 Regenerate the baseline after an intentional perf change with::
 
@@ -23,16 +25,22 @@ import argparse
 import json
 from typing import Dict
 
+#: the deterministic counters guarded against regressions
+TRACKED_COUNTERS = ("kernel_steps", "peak_nodes", "ite_calls")
 
-def load_steps(path: str) -> Dict[str, int]:
-    """``{benchmark name: kernel_steps}`` for every recorded benchmark."""
+
+def load_counters(path: str) -> Dict[str, Dict[str, int]]:
+    """``{benchmark name: {counter: value}}`` for every tracked counter."""
     with open(path) as fh:
         record = json.load(fh)
-    out: Dict[str, int] = {}
+    out: Dict[str, Dict[str, int]] = {}
     for bench in record.get("benchmarks", []):
-        steps = bench.get("extra_info", {}).get("kernel_steps")
-        if steps is not None:
-            out[bench["name"]] = int(steps)
+        extra = bench.get("extra_info", {})
+        counters = {
+            name: int(extra[name]) for name in TRACKED_COUNTERS if name in extra
+        }
+        if counters:
+            out[bench["name"]] = counters
     return out
 
 
@@ -40,24 +48,27 @@ def rebaseline(run_path: str, baseline_path: str) -> int:
     """Strip a full benchmark record down to the committed baseline shape."""
     with open(run_path) as fh:
         record = json.load(fh)
-    benches = [
-        {"name": b["name"], "extra_info": {"kernel_steps": int(b["extra_info"]["kernel_steps"])}}
-        for b in record.get("benchmarks", [])
-        if b.get("extra_info", {}).get("kernel_steps") is not None
-    ]
+    benches = []
+    for b in record.get("benchmarks", []):
+        extra = b.get("extra_info", {})
+        counters = {
+            name: int(extra[name]) for name in TRACKED_COUNTERS if name in extra
+        }
+        if counters:
+            benches.append({"name": b["name"], "extra_info": counters})
     benches.sort(key=lambda b: b["name"])
     with open(baseline_path, "w") as fh:
         json.dump({"benchmarks": benches}, fh, indent=2, sort_keys=True)
         fh.write("\n")
-    print(f"wrote {baseline_path} with {len(benches)} kernel-step baselines")
+    print(f"wrote {baseline_path} with {len(benches)} counter baselines")
     return 0
 
 
 def compare(baseline_path: str, run_path: str, tolerance: float) -> int:
-    baseline = load_steps(baseline_path)
-    current = load_steps(run_path)
+    baseline = load_counters(baseline_path)
+    current = load_counters(run_path)
     if not baseline:
-        print(f"error: no kernel-step records in baseline {baseline_path}")
+        print(f"error: no tracked counters in baseline {baseline_path}")
         return 2
 
     failures = []
@@ -65,27 +76,40 @@ def compare(baseline_path: str, run_path: str, tolerance: float) -> int:
         if name not in current:
             print(f"  [missing ] {name}: in baseline but not in this run")
             continue
-        old, new = baseline[name], current[name]
-        change = (new - old) / old if old else 0.0
-        marker = "ok"
-        if new > old * (1.0 + tolerance):
-            marker = "REGRESSED"
-            failures.append((name, old, new))
-        elif new < old:
-            marker = "improved"
-        print(f"  [{marker:9s}] {name}: {old} -> {new} ({change:+.1%})")
+        for counter in TRACKED_COUNTERS:
+            if counter not in baseline[name]:
+                if counter in current[name]:
+                    print(f"  [new      ] {name}/{counter}: "
+                          f"{current[name][counter]} (no baseline yet)")
+                continue
+            old = baseline[name][counter]
+            if counter not in current[name]:
+                print(f"  [missing ] {name}/{counter}: not recorded in this run")
+                continue
+            new = current[name][counter]
+            change = (new - old) / old if old else 0.0
+            marker = "ok"
+            if new > old * (1.0 + tolerance):
+                marker = "REGRESSED"
+                failures.append((f"{name}/{counter}", old, new))
+            elif new < old:
+                marker = "improved"
+            print(f"  [{marker:9s}] {name}/{counter}: {old} -> {new} ({change:+.1%})")
     for name in sorted(set(current) - set(baseline)):
-        print(f"  [new      ] {name}: {current[name]} (no baseline yet)")
+        rendered = ", ".join(
+            f"{counter}={value}" for counter, value in sorted(current[name].items())
+        )
+        print(f"  [new      ] {name}: {rendered} (no baseline yet)")
 
     if failures:
         print(
-            f"\nFAIL: {len(failures)} benchmark(s) exceed the kernel-step "
-            f"baseline by more than {tolerance:.0%}:"
+            f"\nFAIL: {len(failures)} counter(s) exceed the baseline "
+            f"by more than {tolerance:.0%}:"
         )
         for name, old, new in failures:
             print(f"  {name}: {old} -> {new}")
         return 1
-    print(f"\nOK: kernel-step counts within {tolerance:.0%} of the baseline")
+    print(f"\nOK: deterministic counters within {tolerance:.0%} of the baseline")
     return 0
 
 
@@ -94,7 +118,7 @@ def main(argv=None) -> int:
     parser.add_argument("baseline", help="committed baseline JSON (or the run, with --rebaseline)")
     parser.add_argument("run", help="fresh benchmark JSON (or the baseline target, with --rebaseline)")
     parser.add_argument("--tolerance", type=float, default=0.10,
-                        help="allowed fractional step increase (default 0.10)")
+                        help="allowed fractional counter increase (default 0.10)")
     parser.add_argument("--rebaseline", action="store_true",
                         help="write a new baseline from the run instead of comparing")
     args = parser.parse_args(argv)

@@ -98,6 +98,102 @@ class Simulator:
         return Trace(inputs_log, outputs_log, states_log)
 
 
+def _word_eval(cell_type: str, ins: List[int], params, mask: int) -> int:
+    """Evaluate one gate on packed words (bit ``t`` = value in cycle ``t``)."""
+    if cell_type == "BUF":
+        return ins[0]
+    if cell_type == "NOT":
+        return ins[0] ^ mask
+    if cell_type == "AND":
+        return ins[0] & ins[1]
+    if cell_type == "OR":
+        return ins[0] | ins[1]
+    if cell_type == "XOR":
+        return ins[0] ^ ins[1]
+    if cell_type == "XNOR":
+        return (ins[0] ^ ins[1]) ^ mask
+    if cell_type == "NAND":
+        return (ins[0] & ins[1]) ^ mask
+    if cell_type == "NOR":
+        return (ins[0] | ins[1]) ^ mask
+    if cell_type == "MUX":
+        sel, a, b = ins
+        return (sel & a) | ((sel ^ mask) & b)
+    if cell_type == "CONST":
+        return mask if int(params.get("value", 0)) & 1 else 0
+    raise SimulationError(
+        f"bit-parallel simulation requires gate-level cells, got {cell_type}"
+    )
+
+
+def bit_parallel_signatures(
+    netlist: Netlist, cycles: int, seed: int = 0
+) -> Dict[str, int]:
+    """Per-net value signatures packed bitwise: bit ``t`` = value in cycle ``t``.
+
+    Word-parallel simulation of a *gate-level* netlist (every net one bit
+    wide): the per-net-per-cycle Python loop of the naive
+    ``evaluate_combinational``-then-record approach collapses into one
+    bit-parallel pass over the cells, with all ``cycles`` random cycles
+    packed into a single Python int per net.
+
+    Bit-exact with the naive loop: the stimulus is
+    :func:`random_input_sequence` with the same ``seed``, and the register
+    trajectory is advanced cycle by cycle — but only over the cells in the
+    transitive fan-in cones of the register inputs; every other net is
+    evaluated once, on whole words.  Two nets have equal packed signatures
+    iff their per-cycle value tuples are equal, so signature-based candidate
+    bucketing (van Eijk step 1) is unchanged.
+    """
+    if any(net.width != 1 for net in netlist.nets.values()):
+        raise SimulationError(
+            "bit_parallel_signatures: netlist must be gate level (1-bit nets)"
+        )
+    order = netlist.topological_cells()
+    seq = random_input_sequence(netlist, cycles, seed=seed)
+    mask = (1 << cycles) - 1 if cycles else 0
+
+    # Phase 1 (sequential, narrow): the register-output trajectories.  Only
+    # the transitive fan-in cones of the register inputs are evaluated per
+    # cycle; everything else waits for the word-parallel pass.
+    producer = {cell.output: cell for cell in order}
+    cone: set = set()
+    work = [reg.input for reg in netlist.registers.values()]
+    while work:
+        net = work.pop()
+        cell = producer.get(net)
+        if cell is None or cell.output in cone:
+            continue
+        cone.add(cell.output)
+        work.extend(cell.inputs)
+    cone_order = [cell for cell in order if cell.output in cone]
+
+    state = {reg.output: int(reg.init) & 1 for reg in netlist.registers.values()}
+    state_words = {name: 0 for name in state}
+    next_of = {reg.output: reg.input for reg in netlist.registers.values()}
+    for t, vec in enumerate(seq):
+        values = {name: vec[name] & 1 for name in netlist.inputs}
+        values.update(state)
+        for name, bit in state.items():
+            state_words[name] |= bit << t
+        for cell in cone_order:
+            values[cell.output] = _word_eval(
+                cell.type, [values[i] for i in cell.inputs], cell.params, 1
+            )
+        state = {out: values[src] for out, src in next_of.items()}
+
+    # Phase 2 (bit-parallel, wide): one pass over every cell on packed words.
+    words: Dict[str, int] = {}
+    for name in netlist.inputs:
+        words[name] = sum((seq[t][name] & 1) << t for t in range(cycles))
+    words.update(state_words)
+    for cell in order:
+        words[cell.output] = _word_eval(
+            cell.type, [words[i] for i in cell.inputs], cell.params, mask
+        )
+    return words
+
+
 def random_input_sequence(
     netlist: Netlist, cycles: int, seed: int = 0
 ) -> List[Dict[str, int]]:

@@ -123,13 +123,11 @@ class SymbolicFSM:
     net_fns: Dict[str, int] = field(default_factory=dict)
 
     def initial_state_bdd(self) -> int:
-        cube = TRUE
-        for var in self.state_vars:
-            lit = self.manager.var(var) if self.init[var] else self.manager.apply_not(
-                self.manager.var(var)
-            )
-            cube = self.manager.apply_and(cube, lit)
-        return cube
+        # nvar is an O(1) complement edge, so the cube costs one AND per bit
+        return self.manager.conjoin(
+            self.manager.var(var) if self.init[var] else self.manager.nvar(var)
+            for var in self.state_vars
+        )
 
     def num_state_bits(self) -> int:
         return len(self.state_vars)

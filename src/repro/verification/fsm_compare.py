@@ -5,11 +5,17 @@ the SIS synthesis system ("SIS provides a finite state machine comparison
 technique").  Algorithmically it is also a product-machine traversal, but in
 the SIS style rather than the SMV style:
 
-* no monolithic transition relation is built — the image of the reached set
-  is computed *functionally*, by constraining the per-register next-state
-  functions and enumerating the care-set input/state cubes through recursive
-  cofactoring (the "output/input splitting" range computation used by SIS);
-* output agreement is checked on the fly, every traversal step.
+* output agreement is checked *on the fly*, before every traversal step —
+  the invariant is tested against the reached set each iteration rather
+  than once at the fixpoint;
+* the image of the reached set is computed from the per-register next-state
+  constraints directly — since PR 4 through the same clustered
+  early-quantification relational product as the SMV front end
+  (:func:`repro.verification.model_checking.partition_relation`): one
+  conjunct ``v' ≡ f(i, s)`` per register, greedily clustered by support,
+  inputs and current-state variables quantified as soon as their last
+  cluster is conjoined via the combined
+  :meth:`~repro.verification.bdd.BddManager.and_exists`.
 
 Both styles share the exponential dependence on the number of state bits;
 they differ in constants, which is why the paper reports them as separate
@@ -20,49 +26,18 @@ of the paper's tables).
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Tuple
+from typing import Optional
 
 from ..circuits.netlist import Netlist
-from .bdd import FALSE, TRUE, BddBudgetExceeded, BddManager
-from .common import Budget, TimeoutBudgetExceeded, VerificationResult, product_fsm
-
-
-def _functional_image(
-    manager: BddManager,
-    next_fns: List[Tuple[str, int]],
-    care: int,
-    budget: Optional[Budget],
-) -> int:
-    """Range of the next-state function vector restricted to the care set.
-
-    Recursive output splitting: pick the first next-state function, cofactor
-    the problem with respect to it being 0 / 1 and recurse; the recursion
-    depth is the number of state bits.
-    """
-    if budget is not None:
-        budget.check()
-    if care == FALSE:
-        return FALSE
-    if not next_fns:
-        return TRUE
-    (var, fn), rest = next_fns[0], next_fns[1:]
-    v = manager.var(var)
-
-    # Branch where the next value of `var` is 1.
-    care_high = manager.apply_and(care, fn)
-    high = FALSE
-    if care_high != FALSE:
-        high = manager.apply_and(
-            v, _functional_image(manager, rest, care_high, budget)
-        )
-    # Branch where the next value of `var` is 0.
-    care_low = manager.apply_and(care, manager.apply_not(fn))
-    low = FALSE
-    if care_low != FALSE:
-        low = manager.apply_and(
-            manager.apply_not(v), _functional_image(manager, rest, care_low, budget)
-        )
-    return manager.apply_or(high, low)
+from .bdd import FALSE, BddBudgetExceeded, BddManager
+from .common import (
+    Budget,
+    TimeoutBudgetExceeded,
+    VerificationResult,
+    declare_next_state_vars,
+    product_fsm,
+)
+from .model_checking import image, partition_relation
 
 
 def check_equivalence(
@@ -74,6 +49,8 @@ def check_equivalence(
     """Check sequential output-equivalence of two circuits (SIS ``verify_fsm`` style)."""
     start = time.perf_counter()
     budget = Budget(seconds=time_budget)
+    m: Optional[BddManager] = None
+    iterations = 0
     try:
         product = product_fsm(original, retimed, node_budget=node_budget)
         m = product.manager
@@ -82,12 +59,17 @@ def check_equivalence(
         bad = m.exists(product.left.inputs, m.apply_not(good))
 
         state_vars = product.all_state_vars()
-        next_fns = sorted(product.next_fns().items())
-        inputs = list(product.left.inputs)
+        primed = declare_next_state_vars(product)
+        unprime = {primed[v]: v for v in state_vars}
+        conjuncts = [
+            m.apply_xnor(m.var(primed[var]), fn)
+            for var, fn in sorted(product.next_fns().items())
+        ]
+        quantify = list(product.left.inputs) + state_vars
+        relation = partition_relation(m, conjuncts, quantify)
 
         reached = product.initial_state_bdd()
         frontier = reached
-        iterations = 0
         while frontier != FALSE:
             budget.check()
             # on-the-fly invariant check
@@ -101,12 +83,12 @@ def check_equivalence(
                     peak_nodes=m.num_nodes,
                     counterexample=cex,
                     detail=f"outputs differ after {iterations} traversal steps",
+                    stats=m.op_stats(),
                 )
-            # the care set ranges over current state and (implicitly) all inputs
-            image = _functional_image(m, list(next_fns), frontier, budget)
-            new = m.apply_and(image, m.apply_not(reached))
-            reached = m.apply_or(reached, image)
-            frontier = new
+            image_primed = image(m, frontier, relation, budget=budget)
+            new_states = m.rename(image_primed, unprime)
+            frontier = m.apply_and(new_states, m.apply_not(reached))
+            reached = m.apply_or(reached, new_states)
             iterations += 1
 
         if m.apply_and(reached, bad) != FALSE:
@@ -119,6 +101,7 @@ def check_equivalence(
                 peak_nodes=m.num_nodes,
                 counterexample=cex,
                 detail="outputs differ on a reachable state",
+                stats=m.op_stats(),
             )
         return VerificationResult(
             method="sis",
@@ -127,11 +110,15 @@ def check_equivalence(
             iterations=iterations,
             peak_nodes=m.num_nodes,
             detail=f"fixpoint after {iterations} steps, {m.num_nodes} BDD nodes",
+            stats=m.op_stats(),
         )
     except (TimeoutBudgetExceeded, BddBudgetExceeded) as exc:
         return VerificationResult(
             method="sis",
             status="timeout",
             seconds=time.perf_counter() - start,
+            iterations=iterations,
+            peak_nodes=m.num_nodes if m is not None else 0,
             detail=str(exc),
+            stats=m.op_stats() if m is not None else {},
         )

@@ -177,19 +177,21 @@ def _hash_formal(
 
 register_checker(
     "smv", model_checking.check_equivalence,
-    description="SMV-style symbolic model checking (monolithic transition "
-                "relation, breadth-first product traversal)",
+    description="SMV-style symbolic model checking (clustered transition "
+                "relation, early-quantification image, breadth-first "
+                "product traversal)",
     accepts=("time_budget", "node_budget"),
 )
 register_checker(
     "sis", fsm_compare.check_equivalence,
-    description="SIS-style FSM comparison (functional image computation, "
-                "on-the-fly invariant check)",
+    description="SIS-style FSM comparison (per-register relation conjuncts, "
+                "on-the-fly invariant check every traversal step)",
     accepts=("time_budget", "node_budget"),
 )
 register_checker(
     "eijk", van_eijk.check_equivalence,
-    description="van Eijk signal-correspondence induction",
+    description="van Eijk signal-correspondence induction (word-parallel "
+                "simulation signatures)",
     accepts=("time_budget", "node_budget", "simulation_cycles", "seed"),
 )
 register_checker(

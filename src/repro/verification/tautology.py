@@ -80,6 +80,7 @@ def combinational_equivalent(
     """
     start = time.perf_counter()
     budget = Budget(seconds=time_budget)
+    manager: Optional[BddManager] = None
     try:
         gate_a = _gate_level(a)
         gate_b = _gate_level(b)
@@ -137,6 +138,7 @@ def combinational_equivalent(
                 seconds=seconds,
                 peak_nodes=manager.num_nodes,
                 detail="; ".join(mismatches),
+                stats=manager.op_stats(),
             )
         return VerificationResult(
             method="tautology",
@@ -145,13 +147,16 @@ def combinational_equivalent(
             peak_nodes=manager.num_nodes,
             detail="all outputs and next-state functions agree "
                    f"({manager.num_nodes} BDD nodes)",
+            stats=manager.op_stats(),
         )
     except (TimeoutBudgetExceeded, BddBudgetExceeded) as exc:
         return VerificationResult(
             method="tautology",
             status="timeout",
             seconds=time.perf_counter() - start,
+            peak_nodes=manager.num_nodes if manager is not None else 0,
             detail=str(exc),
+            stats=manager.op_stats() if manager is not None else {},
         )
 
 
