@@ -7,7 +7,8 @@ Usage::
 Both files are pytest-benchmark JSON records; the quantities compared are
 the deterministic cost counters each benchmark stores in ``extra_info`` —
 ``kernel_steps`` (kernel inferences), ``peak_nodes`` and ``ite_calls``
-(BDD engine work).  All are machine-independent, unlike wall-clock times,
+(BDD engine work), ``aig_nodes`` (shared-IR size) and ``decisions`` (SAT
+search effort).  All are machine-independent, unlike wall-clock times,
 so the comparison is stable across CI runners.  The script exits non-zero
 when any counter of a benchmark present in both files regresses by more
 than ``--tolerance`` (default 10%); new benchmarks, new counters and
@@ -26,7 +27,8 @@ import json
 from typing import Dict
 
 #: the deterministic counters guarded against regressions
-TRACKED_COUNTERS = ("kernel_steps", "peak_nodes", "ite_calls")
+TRACKED_COUNTERS = ("kernel_steps", "peak_nodes", "ite_calls",
+                    "aig_nodes", "decisions")
 
 
 def load_counters(path: str) -> Dict[str, Dict[str, int]]:

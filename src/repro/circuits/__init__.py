@@ -1,5 +1,14 @@
-"""``repro.circuits`` — netlists, simulation, bit-blasting and generators."""
+"""``repro.circuits`` — netlists, the AIG IR, simulation, bit-blasting and
+generators."""
 
+from .aig import (
+    Aig,
+    AigError,
+    NetlistAig,
+    aig_to_netlist,
+    lower_combinational,
+    netlist_to_aig,
+)
 from .cells import CellError, CellType, all_cell_types, cell_type, is_gate_level
 from .netlist import (
     Cell,

@@ -1,24 +1,40 @@
-"""Bit-blasting: lowering RT-level netlists to gate level.
+"""Bit-blasting: lowering RT-level netlists to gate level via the AIG IR.
 
 The model checkers of the paper (SMV, SIS, van Eijk) operate on flat
 bit-level descriptions, whereas HASH retimes the RT-level description
 directly — Section V explicitly attributes part of HASH's advantage to this.
-The :func:`bitblast` function performs the lowering: every multi-bit net is
-expanded into 1-bit nets ``name[i]`` and every word-level cell into a network
-of ordinary gates (ripple-carry adders, shift-and-add multipliers,
-comparator chains, reduction trees).
+:func:`bitblast` performs the lowering in two stages that share one
+structurally-hashed IR:
 
-The result is an ordinary :class:`~repro.circuits.netlist.Netlist` whose nets
-are all one bit wide, suitable for building BDDs
-(:mod:`repro.verification.common`).
+1. :func:`~repro.circuits.aig.netlist_to_aig` decomposes every word-level
+   cell (ripple-carry adders, shift-and-add multipliers, comparator chains,
+   reduction trees) into the hash-consed and-inverter graph, so structurally
+   equal subcircuits — repeated partial products, shared carry chains,
+   common subexpressions across cells — collapse onto single nodes; and
+2. :func:`~repro.circuits.aig.aig_to_netlist` emits the shared DAG as an
+   ordinary gate-level :class:`~repro.circuits.netlist.Netlist` (``AND`` /
+   ``NOT`` / ``CONST`` / ``BUF`` cells, all nets one bit wide), each node and
+   each complemented edge exactly once.
+
+Every multi-bit net is exposed as 1-bit nets ``name[i]`` in the result's
+``bit_map``; primary inputs, outputs and registers keep their external
+names, so cycle simulation of the word-level and the gate-level circuit
+stay in lock-step.  The result is suitable for building BDDs
+(:mod:`repro.verification.common`) or CNF (:mod:`repro.verification.sat`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
-from .netlist import Cell, Netlist
+from .aig import AigError, aig_to_netlist, bit_name, netlist_to_aig
+from .netlist import Netlist
+
+__all__ = [
+    "BitblastError", "BitblastResult", "bit_name", "bitblast",
+    "pack_output_bits",
+]
 
 
 class BitblastError(Exception):
@@ -37,219 +53,16 @@ class BitblastResult:
         return self.bit_map[net]
 
 
-def bit_name(net: str, index: int) -> str:
-    """Canonical name of bit ``index`` of a word-level net."""
-    return f"{net}[{index}]"
-
-
-class _Builder:
-    """Helper collecting the gate-level netlist under construction."""
-
-    def __init__(self, name: str):
-        self.out = Netlist(name)
-        self._counter = 0
-
-    def fresh(self, base: str) -> str:
-        self._counter += 1
-        name = f"{base}__{self._counter}"
-        return name
-
-    def gate(self, type: str, inputs: List[str], base: str, params=None) -> str:
-        """Add a 1-bit gate with a fresh output net; returns the output name."""
-        out_net = self.fresh(base)
-        self.out.add_net(out_net, 1)
-        cell_name = self.out.fresh_instance_name(f"g_{out_net}")
-        self.out.add_cell(cell_name, type, inputs, out_net, params=params or {})
-        return out_net
-
-    def const(self, value: int, base: str = "const") -> str:
-        return self.gate("CONST", [], base, params={"value": value, "width": 1})
-
-    def alias(self, src: str, dst: str) -> None:
-        """Drive net ``dst`` (created) with a BUF from ``src``."""
-        self.out.add_net(dst, 1)
-        cell_name = self.out.fresh_instance_name(f"buf_{dst}")
-        self.out.add_cell(cell_name, "BUF", [src], dst)
-
-
-# ---------------------------------------------------------------------------
-# per-cell decompositions; each returns the list of output bit nets
-# ---------------------------------------------------------------------------
-
-def _full_adder(b: _Builder, a: str, x: str, cin: str) -> Tuple[str, str]:
-    s1 = b.gate("XOR", [a, x], "fa_s1")
-    s = b.gate("XOR", [s1, cin], "fa_sum")
-    c1 = b.gate("AND", [a, x], "fa_c1")
-    c2 = b.gate("AND", [s1, cin], "fa_c2")
-    cout = b.gate("OR", [c1, c2], "fa_cout")
-    return s, cout
-
-
-def _ripple_add(b: _Builder, xs: List[str], ys: List[str], cin: str) -> List[str]:
-    outs = []
-    carry = cin
-    for a, x in zip(xs, ys):
-        s, carry = _full_adder(b, a, x, carry)
-        outs.append(s)
-    return outs
-
-
-def _blast_cell(b: _Builder, cell: Cell, in_bits: List[List[str]], width: int) -> List[str]:
-    t = cell.type
-    bitwise = {"BUF": "BUF", "NOT": "NOT", "AND": "AND", "OR": "OR", "XOR": "XOR",
-               "NAND": "NAND", "NOR": "NOR", "XNOR": "XNOR"}
-    if t in bitwise:
-        return [
-            b.gate(bitwise[t], [bits[i] for bits in in_bits], t.lower())
-            for i in range(width)
-        ]
-    if t == "MUX":
-        sel = in_bits[0][0]
-        return [
-            b.gate("MUX", [sel, in_bits[1][i], in_bits[2][i]], "mux")
-            for i in range(width)
-        ]
-    if t == "CONST":
-        value = int(cell.params.get("value", 0))
-        return [b.const((value >> i) & 1, "const") for i in range(width)]
-    if t == "INC":
-        xs = in_bits[0]
-        one = b.const(1, "one")
-        zeros = [b.const(0, "zero") for _ in range(len(xs) - 1)] if len(xs) > 1 else []
-        return _ripple_add(b, xs, [one] + zeros if zeros else [one], b.const(0, "cin0"))
-    if t == "DEC":
-        xs = in_bits[0]
-        # a - 1 = a + (2^w - 1) = a + all-ones
-        ones = [b.const(1, "one") for _ in xs]
-        return _ripple_add(b, xs, ones, b.const(0, "cin0"))
-    if t == "ADD":
-        return _ripple_add(b, in_bits[0], in_bits[1], b.const(0, "cin0"))
-    if t == "SUB":
-        ys = [b.gate("NOT", [y], "subn") for y in in_bits[1]]
-        return _ripple_add(b, in_bits[0], ys, b.const(1, "cin1"))
-    if t == "MUL":
-        xs, ys = in_bits[0], in_bits[1]
-        acc = [b.const(0, "mul0") for _ in range(width)]
-        for j, yj in enumerate(ys):
-            if j >= width:
-                break
-            partial = []
-            for i in range(width):
-                if i - j >= 0 and i - j < len(xs):
-                    partial.append(b.gate("AND", [xs[i - j], yj], "pp"))
-                else:
-                    partial.append(b.const(0, "pp0"))
-            acc = _ripple_add(b, acc, partial, b.const(0, "cin0"))
-        return acc
-    if t == "SHL1":
-        xs = in_bits[0]
-        return [b.const(0, "shl0")] + xs[:-1]
-    if t == "SHR1":
-        xs = in_bits[0]
-        return xs[1:] + [b.const(0, "shr0")]
-    if t == "EQ":
-        eqs = [b.gate("XNOR", [a, x], "eqb") for a, x in zip(in_bits[0], in_bits[1])]
-        out = eqs[0]
-        for e in eqs[1:]:
-            out = b.gate("AND", [out, e], "eqand")
-        return [out]
-    if t == "NEQ":
-        eqs = [b.gate("XNOR", [a, x], "eqb") for a, x in zip(in_bits[0], in_bits[1])]
-        out = eqs[0]
-        for e in eqs[1:]:
-            out = b.gate("AND", [out, e], "eqand")
-        return [b.gate("NOT", [out], "neq")]
-    if t in ("LT", "GE"):
-        lt = b.const(0, "lt0")
-        for a, x in zip(in_bits[0], in_bits[1]):
-            na = b.gate("NOT", [a], "ltn")
-            altb = b.gate("AND", [na, x], "ltb")
-            eq = b.gate("XNOR", [a, x], "lteq")
-            keep = b.gate("AND", [eq, lt], "ltkeep")
-            lt = b.gate("OR", [altb, keep], "lt")
-        if t == "LT":
-            return [lt]
-        return [b.gate("NOT", [lt], "ge")]
-    if t == "REDAND":
-        out = in_bits[0][0]
-        for x in in_bits[0][1:]:
-            out = b.gate("AND", [out, x], "redand")
-        return [out]
-    if t == "REDOR":
-        out = in_bits[0][0]
-        for x in in_bits[0][1:]:
-            out = b.gate("OR", [out, x], "redor")
-        return [out]
-    if t == "REDXOR":
-        out = in_bits[0][0]
-        for x in in_bits[0][1:]:
-            out = b.gate("XOR", [out, x], "redxor")
-        return [out]
-    raise BitblastError(f"no gate-level decomposition for cell type {t}")
-
-
 def bitblast(netlist: Netlist, name_suffix: str = "_bits") -> BitblastResult:
     """Lower an RT-level netlist to a pure gate-level netlist."""
-    netlist.validate()
-    b = _Builder(netlist.name + name_suffix)
-    bit_map: Dict[str, List[str]] = {}
-
-    # primary inputs
-    for inp in netlist.inputs:
-        width = netlist.width(inp)
-        bits = []
-        for i in range(width):
-            bn = bit_name(inp, i) if width > 1 else inp
-            b.out.add_input(bn, 1)
-            bits.append(bn)
-        bit_map[inp] = bits
-
-    # register outputs exist before the combinational sweep
-    for reg in netlist.registers.values():
-        bits = []
-        for i in range(reg.width):
-            bn = bit_name(reg.output, i) if reg.width > 1 else reg.output
-            b.out.add_net(bn, 1)
-            bits.append(bn)
-        bit_map[reg.output] = bits
-
-    # combinational cells in topological order
-    for cell in netlist.topological_cells():
-        in_bits = [bit_map[i] for i in cell.inputs]
-        width = netlist.width(cell.output)
-        out_bits = _blast_cell(b, cell, in_bits, width)
-        if len(out_bits) != width:
-            raise BitblastError(
-                f"cell {cell.name}: decomposition produced {len(out_bits)} bits, "
-                f"expected {width}"
-            )
-        bit_map[cell.output] = out_bits
-
-    # registers: one 1-bit register per bit
-    for reg in netlist.registers.values():
-        in_bits = bit_map[reg.input]
-        out_bits = bit_map[reg.output]
-        for i, (ib, ob) in enumerate(zip(in_bits, out_bits)):
-            init_bit = (reg.init >> i) & 1
-            reg_name = f"{reg.name}[{i}]" if reg.width > 1 else reg.name
-            b.out.add_register(reg_name, ib, ob, init=init_bit, width=1)
-
-    # primary outputs
-    for out in netlist.outputs:
-        width = netlist.width(out)
-        for i, bn in enumerate(bit_map[out]):
-            target = bit_name(out, i) if width > 1 else out
-            if bn != target:
-                if target in b.out.nets:
-                    b.out.mark_output(target)
-                else:
-                    b.alias(bn, target)
-                    b.out.mark_output(target)
-            else:
-                b.out.mark_output(target)
-
-    b.out.validate()
-    return BitblastResult(netlist=b.out, bit_map=bit_map)
+    try:
+        lowered = netlist_to_aig(netlist)
+        gate, bit_map = aig_to_netlist(
+            lowered, netlist, name=netlist.name + name_suffix
+        )
+    except AigError as exc:
+        raise BitblastError(str(exc)) from exc
+    return BitblastResult(netlist=gate, bit_map=bit_map)
 
 
 def pack_output_bits(result: BitblastResult, word_netlist: Netlist,

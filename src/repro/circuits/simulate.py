@@ -98,100 +98,75 @@ class Simulator:
         return Trace(inputs_log, outputs_log, states_log)
 
 
-def _word_eval(cell_type: str, ins: List[int], params, mask: int) -> int:
-    """Evaluate one gate on packed words (bit ``t`` = value in cycle ``t``)."""
-    if cell_type == "BUF":
-        return ins[0]
-    if cell_type == "NOT":
-        return ins[0] ^ mask
-    if cell_type == "AND":
-        return ins[0] & ins[1]
-    if cell_type == "OR":
-        return ins[0] | ins[1]
-    if cell_type == "XOR":
-        return ins[0] ^ ins[1]
-    if cell_type == "XNOR":
-        return (ins[0] ^ ins[1]) ^ mask
-    if cell_type == "NAND":
-        return (ins[0] & ins[1]) ^ mask
-    if cell_type == "NOR":
-        return (ins[0] | ins[1]) ^ mask
-    if cell_type == "MUX":
-        sel, a, b = ins
-        return (sel & a) | ((sel ^ mask) & b)
-    if cell_type == "CONST":
-        return mask if int(params.get("value", 0)) & 1 else 0
-    raise SimulationError(
-        f"bit-parallel simulation requires gate-level cells, got {cell_type}"
-    )
-
-
 def bit_parallel_signatures(
     netlist: Netlist, cycles: int, seed: int = 0
 ) -> Dict[str, int]:
     """Per-net value signatures packed bitwise: bit ``t`` = value in cycle ``t``.
 
     Word-parallel simulation of a *gate-level* netlist (every net one bit
-    wide): the per-net-per-cycle Python loop of the naive
-    ``evaluate_combinational``-then-record approach collapses into one
-    bit-parallel pass over the cells, with all ``cycles`` random cycles
-    packed into a single Python int per net.
+    wide) over the shared AIG IR: the netlist is lowered once with
+    :func:`repro.circuits.aig.netlist_to_aig` — so structurally equal
+    subcircuits collapse onto single nodes — and all ``cycles`` random
+    cycles are packed into a single Python int per node; a net's signature
+    is its node's word, complement-corrected through the inverted edge of
+    its literal (phase is explicit, never conflated away).
 
-    Bit-exact with the naive loop: the stimulus is
-    :func:`random_input_sequence` with the same ``seed``, and the register
-    trajectory is advanced cycle by cycle — but only over the cells in the
-    transitive fan-in cones of the register inputs; every other net is
-    evaluated once, on whole words.  Two nets have equal packed signatures
-    iff their per-cycle value tuples are equal, so signature-based candidate
-    bucketing (van Eijk step 1) is unchanged.
+    Bit-exact with the naive ``evaluate_combinational``-then-record loop:
+    the stimulus is :func:`random_input_sequence` with the same ``seed``,
+    and the register trajectory is advanced cycle by cycle — but only over
+    the AIG nodes in the transitive fan-in cones of the latch next-state
+    literals; every other node is evaluated once, on whole words.  Two nets
+    have equal packed signatures iff their per-cycle value tuples are equal,
+    so signature-based candidate bucketing (van Eijk step 1) is unchanged.
     """
+    from .aig import netlist_to_aig
+
     if any(net.width != 1 for net in netlist.nets.values()):
         raise SimulationError(
             "bit_parallel_signatures: netlist must be gate level (1-bit nets)"
         )
-    order = netlist.topological_cells()
+    lowered = netlist_to_aig(netlist)
+    aig = lowered.aig
     seq = random_input_sequence(netlist, cycles, seed=seed)
     mask = (1 << cycles) - 1 if cycles else 0
 
-    # Phase 1 (sequential, narrow): the register-output trajectories.  Only
-    # the transitive fan-in cones of the register inputs are evaluated per
+    input_node = {name: lowered.lit_map[name][0] >> 1 for name in netlist.inputs}
+    latch_nodes = [lowered.latch_map[reg.name][0]
+                   for reg in netlist.registers.values()]
+    next_lits = {node: aig.next_of(node) for node in latch_nodes}
+
+    # Phase 1 (sequential, narrow): the latch trajectories.  Only the AND
+    # nodes in the fan-in cones of the next-state literals are evaluated per
     # cycle; everything else waits for the word-parallel pass.
-    producer = {cell.output: cell for cell in order}
-    cone: set = set()
-    work = [reg.input for reg in netlist.registers.values()]
-    while work:
-        net = work.pop()
-        cell = producer.get(net)
-        if cell is None or cell.output in cone:
-            continue
-        cone.add(cell.output)
-        work.extend(cell.inputs)
-    cone_order = [cell for cell in order if cell.output in cone]
-
-    state = {reg.output: int(reg.init) & 1 for reg in netlist.registers.values()}
-    state_words = {name: 0 for name in state}
-    next_of = {reg.output: reg.input for reg in netlist.registers.values()}
+    cone_ands = [n for n in aig.cone(next_lits.values()) if aig.is_and(n)]
+    state = {node: aig.init_of(node) for node in latch_nodes}
+    latch_words = {node: 0 for node in latch_nodes}
+    vals = [0] * aig.num_nodes
     for t, vec in enumerate(seq):
-        values = {name: vec[name] & 1 for name in netlist.inputs}
-        values.update(state)
-        for name, bit in state.items():
-            state_words[name] |= bit << t
-        for cell in cone_order:
-            values[cell.output] = _word_eval(
-                cell.type, [values[i] for i in cell.inputs], cell.params, 1
-            )
-        state = {out: values[src] for out, src in next_of.items()}
+        for name, node in input_node.items():
+            vals[node] = vec[name] & 1
+        for node, bit in state.items():
+            vals[node] = bit
+            latch_words[node] |= bit << t
+        for node in cone_ands:
+            f0, f1 = aig.fanins(node)
+            vals[node] = ((vals[f0 >> 1] ^ (f0 & 1)) &
+                          (vals[f1 >> 1] ^ (f1 & 1)))
+        state = {
+            node: vals[nxt >> 1] ^ (nxt & 1) for node, nxt in next_lits.items()
+        }
 
-    # Phase 2 (bit-parallel, wide): one pass over every cell on packed words.
-    words: Dict[str, int] = {}
-    for name in netlist.inputs:
-        words[name] = sum((seq[t][name] & 1) << t for t in range(cycles))
-    words.update(state_words)
-    for cell in order:
-        words[cell.output] = _word_eval(
-            cell.type, [words[i] for i in cell.inputs], cell.params, mask
-        )
-    return words
+    # Phase 2 (bit-parallel, wide): one pass over every node on packed words.
+    words = {
+        node: sum((seq[t][name] & 1) << t for t in range(cycles))
+        for name, node in input_node.items()
+    }
+    words.update(latch_words)
+    node_words = aig.eval_words(words, mask)
+    return {
+        net: aig.lit_word(node_words, lits[0], mask)
+        for net, lits in lowered.lit_map.items()
+    }
 
 
 def random_input_sequence(

@@ -80,6 +80,25 @@ def _parse_methods(raw: Optional[str]) -> Optional[List[str]]:
     return methods
 
 
+def _make_stream_printer():
+    """The ``--stream`` callback: one line per cell as its future completes.
+
+    Purely additive progress output — the final serial-order table render
+    stays byte-identical with and without streaming.
+    """
+    done = [0]
+
+    def on_result(_index: int, measurement) -> None:
+        done[0] += 1
+        print(
+            f"[cell {done[0]}] {measurement.workload} / {measurement.method}: "
+            f"{measurement.status} ({measurement.seconds:.2f}s)",
+            flush=True,
+        )
+
+    return on_result
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     params: Dict[str, Any] = dict(args.param or [])
     isolate = not args.no_isolate
@@ -88,6 +107,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         node_budget=args.node_budget,
         jobs=1 if args.no_isolate else args.jobs,
         isolate=isolate,
+        on_result=_make_stream_printer() if args.stream else None,
     )
     try:
         methods = _parse_methods(args.methods)
@@ -194,6 +214,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--no-isolate", action="store_true",
                        help="run cells in-process with cooperative budgets "
                             "(implies --jobs 1)")
+    run_p.add_argument("--stream", action="store_true",
+                       help="print each cell as its future completes "
+                            "(completion order); the final table render is "
+                            "unchanged")
     run_p.set_defaults(func=_cmd_run)
 
     lb = sub.add_parser("list-backends", help="list registered verification backends")

@@ -181,6 +181,7 @@ def run_cells(
     jobs: int = 1,
     isolate: bool = False,
     grace: float = KILL_GRACE,
+    on_result: Optional[Callable[[int, Measurement], None]] = None,
 ) -> List[Measurement]:
     """Run many cells, optionally isolated and in parallel.
 
@@ -189,6 +190,12 @@ def run_cells(
     subprocess; at most ``jobs`` run concurrently, and a worker still alive
     ``grace`` seconds past its cell's time budget is terminated and recorded
     as a timeout.  The returned list always matches ``specs`` order.
+
+    ``on_result`` is the streaming hook: it is invoked as ``(index,
+    measurement)`` the moment each cell finishes — in *completion* order
+    when cells run in parallel — while the returned list (and therefore any
+    final table render) stays in submission order, byte-identical whether
+    or not a callback is installed.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -197,10 +204,14 @@ def run_cells(
     if not isolate:
         if jobs != 1:
             raise ValueError("parallel execution requires isolate=True")
-        return [
-            run_cell(s.workload, s.method, s.time_budget, s.node_budget)
-            for s in specs
-        ]
+        serial: List[Measurement] = []
+        for index, s in enumerate(specs):
+            measurement = run_cell(s.workload, s.method, s.time_budget,
+                                   s.node_budget)
+            if on_result is not None:
+                on_result(index, measurement)
+            serial.append(measurement)
+        return serial
 
     ctx = _mp_context()
     results: List[Optional[Measurement]] = [None] * len(specs)
@@ -250,6 +261,8 @@ def run_cells(
                         )
                     results[index] = measurement
                     del running[index]
+                    if on_result is not None:
+                        on_result(index, measurement)
                 elif time.monotonic() >= deadline:
                     process.terminate()
                     process.join(1.0)
@@ -259,6 +272,8 @@ def run_cells(
                     conn.close()
                     results[index] = _killed_measurement(specs[index])
                     del running[index]
+                    if on_result is not None:
+                        on_result(index, results[index])
     finally:
         for process, conn, _ in running.values():
             process.terminate()
@@ -286,11 +301,13 @@ def run_row(
     node_budget: int = DEFAULT_NODE_BUDGET,
     jobs: int = 1,
     isolate: Optional[bool] = None,
+    on_result: Optional[Callable[[int, Measurement], None]] = None,
 ) -> Row:
     """Measure every requested method on one workload."""
     isolate = (jobs > 1) if isolate is None else isolate
     specs = [CellSpec(workload, m, time_budget, node_budget) for m in methods]
-    measurements = run_cells(specs, jobs=jobs, isolate=isolate)
+    measurements = run_cells(specs, jobs=jobs, isolate=isolate,
+                             on_result=on_result)
     return Row(workload=workload, cells={m.method: m for m in measurements})
 
 
@@ -301,6 +318,7 @@ def run_rows(
     node_budget: int = DEFAULT_NODE_BUDGET,
     jobs: int = 1,
     isolate: Optional[bool] = None,
+    on_result: Optional[Callable[[int, Measurement], None]] = None,
 ) -> List[Row]:
     """Measure a whole table, parallelising across *all* cells of all rows."""
     isolate = (jobs > 1) if isolate is None else isolate
@@ -309,7 +327,8 @@ def run_rows(
         for workload in workloads
         for method in methods
     ]
-    measurements = run_cells(specs, jobs=jobs, isolate=isolate)
+    measurements = run_cells(specs, jobs=jobs, isolate=isolate,
+                             on_result=on_result)
     rows: List[Row] = []
     per_row = len(methods)
     for i, workload in enumerate(workloads):

@@ -25,6 +25,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..circuits.generators import (
     counter,
+    figure2,
     fractional_multiplier,
     gray_counter,
     random_sequential_circuit,
@@ -181,6 +182,35 @@ def _multiplier_scenario(widths: Sequence[int]) -> List[Workload]:
         make_workload(fractional_multiplier(int(n)), cut=multiplier_retiming_cut())
         for n in as_seq(widths)
     ]
+
+
+@register_scenario(
+    "strash",
+    description="combinational resynthesis pairs: each gate-level circuit "
+                "vs its structurally-hashed AIG rebuild (same registers, "
+                "restructured logic) — the taut/sat/fraig cut-point "
+                "checkers prove equivalence, exercising the AIG backend "
+                "family on every cell",
+    default_methods=("taut", "sat", "fraig"),
+    widths=(2, 3, 4),
+)
+def _strash_scenario(widths: Sequence[int]) -> List[Workload]:
+    from ..circuits.bitblast import bitblast
+    from ..retiming.cuts import maximal_forward_cut
+
+    out: List[Workload] = []
+    for n in as_seq(widths):
+        n = int(n)
+        for netlist in (figure2(n), counter(n)):
+            gate = bitblast(netlist).netlist
+            rebuilt = bitblast(gate, name_suffix="_strash").netlist
+            out.append(Workload(
+                name=f"strash {netlist.name}",
+                original=gate,
+                cut=maximal_forward_cut(gate),
+                retimed=rebuilt,
+            ))
+    return out
 
 
 @register_scenario(

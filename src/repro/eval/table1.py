@@ -33,6 +33,7 @@ def run_table1(
     skip_hopeless: bool = True,
     jobs: int = 1,
     isolate: Optional[bool] = None,
+    on_result=None,
 ) -> List[Row]:
     """Measure Table I.
 
@@ -55,12 +56,18 @@ def run_table1(
         ]
         to_run = [m for m in methods if m not in skipped]
         row = run_row(workload, to_run, time_budget=time_budget,
-                      node_budget=node_budget, jobs=jobs, isolate=isolate)
-        for method in skipped:
-            row.cells[method] = Measurement(
+                      node_budget=node_budget, jobs=jobs, isolate=isolate,
+                      on_result=on_result)
+        for offset, method in enumerate(skipped):
+            measurement = Measurement(
                 workload=workload.name, method=method, status="timeout",
                 seconds=time_budget, detail="skipped after repeated timeouts",
             )
+            row.cells[method] = measurement
+            if on_result is not None:
+                # skipped cells stream too: the per-cell lines must account
+                # for every cell the final table renders
+                on_result(len(to_run) + offset, measurement)
         for method in to_run:
             if method != "hash":
                 if row.cells[method].status == "timeout":

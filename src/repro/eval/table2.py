@@ -37,6 +37,7 @@ def run_table2(
     node_budget: int = DEFAULT_NODE_BUDGET,
     jobs: int = 1,
     isolate: Optional[bool] = None,
+    on_result=None,
 ) -> List[Row]:
     """Measure Table II (optionally on a scaled-down suite).
 
@@ -47,7 +48,8 @@ def run_table2(
     methods = list(methods if methods is not None else TABLE2_METHODS)
     workloads = table2_workloads(scale=scale, names=names)
     return run_rows(workloads, methods, time_budget=time_budget,
-                    node_budget=node_budget, jobs=jobs, isolate=isolate)
+                    node_budget=node_budget, jobs=jobs, isolate=isolate,
+                    on_result=on_result)
 
 
 def render(rows: Sequence[Row], methods: Optional[Sequence[str]] = None) -> str:

@@ -15,9 +15,13 @@ Tables I/II):
   columns);
 * :mod:`repro.verification.retiming_verify` — structural matching specialised
   to pure retiming (reference [8] of the paper);
+* :mod:`repro.verification.sat` — Tseitin CNF over the shared AIG IR plus a
+  CDCL-lite solver (the "sat" column);
+* :mod:`repro.verification.fraig` — simulation-guided SAT sweeping on the
+  shared AIG (the "fraig" column);
 * :mod:`repro.verification.registry` — the declarative backend registry the
   evaluation layer dispatches through (``smv``, ``sis``, ``eijk``, ``eijk+``,
-  ``match``, ``taut``, ``taut-rw``, ``hash``).
+  ``match``, ``taut``, ``taut-rw``, ``sat``, ``fraig``, ``hash``).
 """
 
 from .bdd import FALSE, TRUE, BddBudgetExceeded, BddError, BddManager, build_from_table
@@ -39,6 +43,15 @@ from .registry import (
     run_checker,
     unregister_checker,
 )
-from . import fsm_compare, model_checking, registry, retiming_verify, tautology, van_eijk
+from . import (
+    fraig,
+    fsm_compare,
+    model_checking,
+    registry,
+    retiming_verify,
+    sat,
+    tautology,
+    van_eijk,
+)
 
 __all__ = [name for name in dir() if not name.startswith("_")]

@@ -24,7 +24,15 @@ from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence
 
 from ..circuits.netlist import Netlist
-from . import fsm_compare, model_checking, retiming_verify, tautology, van_eijk
+from . import (
+    fraig,
+    fsm_compare,
+    model_checking,
+    retiming_verify,
+    sat,
+    tautology,
+    van_eijk,
+)
 from .common import VerificationError, VerificationResult
 
 
@@ -210,6 +218,20 @@ register_checker(
     description="BDD combinational equivalence with registers as cut points "
                 "(same-state-representation restriction)",
     accepts=("time_budget", "node_budget"),
+)
+register_checker(
+    "sat", sat.check_equivalence_sat,
+    description="AIG/SAT combinational equivalence: shared structurally-"
+                "hashed AIG, Tseitin CNF, CDCL-lite solver (watched "
+                "literals, 1UIP learning); registers as cut points",
+    accepts=("time_budget",),
+)
+register_checker(
+    "fraig", fraig.check_equivalence_fraig,
+    description="FRAIG sweep: simulation-guided candidate classes on the "
+                "shared AIG, refined by per-pair SAT miter calls; "
+                "registers as cut points",
+    accepts=("time_budget", "seed", "patterns"),
 )
 register_checker(
     "taut-rw", tautology.combinational_equivalent_by_rewriting,

@@ -24,6 +24,12 @@ theorem instead of a trusted BDD result.  The enumeration is exponential in
 the number of input/cut-point bits — exactly the limitation Section II
 ascribes to tautology checking — but hash-consing plus the engine's memo
 cache make each individual case linear in the circuit size.
+
+The third path is the AIG one: :func:`is_tautology_by_sat` here (and the
+``sat``/``fraig`` backends in :mod:`repro.verification.sat` /
+:mod:`repro.verification.fraig`) decide the same questions on the shared
+structurally-hashed and-inverter graph with Tseitin CNF and a CDCL-lite
+solver instead of BDDs or case enumeration.
 """
 
 from __future__ import annotations
@@ -158,6 +164,19 @@ def combinational_equivalent(
             detail=str(exc),
             stats=manager.op_stats() if manager is not None else {},
         )
+
+
+def is_tautology_by_sat(netlist: Netlist, output: Optional[str] = None) -> bool:
+    """AIG/SAT path: is the given combinational output constantly true?
+
+    Lowers the circuit to the structurally-hashed AIG and asks the
+    CDCL-lite solver for a falsifying vector (UNSAT = tautology).  Agrees
+    with :func:`is_tautology` on every circuit; the cost profile is SAT
+    search counters instead of BDD nodes.
+    """
+    from .sat import is_tautology_sat
+
+    return is_tautology_sat(netlist, output)
 
 
 # ---------------------------------------------------------------------------

@@ -54,17 +54,29 @@ _MAX_CANDIDATES = 50_000
 
 def _simulation_signatures(
     netlist: Netlist, cycles: int, seed: int
-) -> Dict[str, int]:
-    """Per-net value signatures from a seeded random simulation.
+) -> Dict[str, Tuple[int, int]]:
+    """Per-net ``(canonical_word, phase)`` signatures from a seeded simulation.
 
-    Word-parallel: all ``cycles`` random cycles are packed into one Python
-    int per net (bit ``t`` = value in cycle ``t``) by
-    :func:`repro.circuits.simulate.bit_parallel_signatures`; two nets get
-    the same signature iff their per-cycle value streams coincide, so the
-    candidate bucketing below is identical to the naive per-cycle loop it
-    replaces — only ~64x cheaper on the Python-level inner loop.
+    Word-parallel over the shared AIG IR: all ``cycles`` random cycles are
+    packed into one Python int per net (bit ``t`` = value in cycle ``t``) by
+    :func:`repro.circuits.simulate.bit_parallel_signatures`.  The bucketing
+    key tracks **phase explicitly**: the AIG maps a net and its complement
+    onto one node reached through an inverted edge, so bucketing by the
+    node's canonical (phase-normalised) word alone — the natural porting
+    mistake — would put complement-equivalent nets, and the constant-0 and
+    constant-1 nets, into one candidate class.  The key here is the pair
+    ``(canonical_word, phase)``: complements share the canonical component
+    but differ in phase, and two nets get the same key iff their per-cycle
+    value streams coincide, so the candidate classes are exactly the
+    value-stream classes of the naive per-cycle loop.
     """
-    return bit_parallel_signatures(netlist, cycles, seed=seed)
+    words = bit_parallel_signatures(netlist, cycles, seed=seed)
+    mask = (1 << cycles) - 1 if cycles else 0
+    out: Dict[str, Tuple[int, int]] = {}
+    for net, word in words.items():
+        phase = word & 1
+        out[net] = ((word ^ mask) if phase else word, phase)
+    return out
 
 
 def _gate_level(netlist: Netlist) -> Netlist:
@@ -160,8 +172,8 @@ def check_equivalence(
         budget.check()
 
         # A "node" is (side, net).  Nodes with the same simulation signature
-        # start out in the same candidate class.
-        buckets: Dict[int, List[Tuple[str, str]]] = {}
+        # (canonical word *and* phase) start out in the same candidate class.
+        buckets: Dict[Tuple[int, int], List[Tuple[str, str]]] = {}
         for net, sig in sig_a.items():
             buckets.setdefault(sig, []).append(("A", net))
         for net, sig in sig_b.items():

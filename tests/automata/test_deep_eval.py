@@ -29,7 +29,12 @@ CHAIN = 2500
 
 
 def chain_netlist(n: int) -> Netlist:
-    """A 1-bit circuit with ``n`` chained NOT gates between two registers."""
+    """A 1-bit circuit with an ``n``-deep XOR chain between two registers.
+
+    XOR lowers to an irredundant two-level AND/inverter structure, so the
+    structurally-hashed AIG behind the bit-blaster cannot collapse the
+    chain (a NOT chain would fold to a single inverted edge).
+    """
     nl = Netlist("deep_chain")
     nl.add_input("i")
     nl.add_net("r_out")
@@ -39,7 +44,7 @@ def chain_netlist(n: int) -> Netlist:
     for k in range(n):
         net = f"n{k}"
         nl.add_net(net)
-        nl.add_cell(f"g{k}", "NOT", [prev], net)
+        nl.add_cell(f"g{k}", "XOR", [prev, "i"], net)
         prev = net
     nl.add_register("r", prev, "r_out")
     nl.add_output("y")
@@ -69,7 +74,7 @@ def test_deep_bitblasted_circuit_evaluates_like_the_simulator():
     reset_kernel()
     ensure_stdlib()
 
-    netlist = bitblast(chain_netlist(2200)).netlist
+    netlist = bitblast(chain_netlist(1100)).netlist
     assert netlist.num_gates() > 2000
     embedded = embed_netlist(netlist)
 

@@ -17,13 +17,20 @@ from repro.formal.embed import embed_netlist
 from repro.logic.hol_types import bool_ty
 from repro.logic.terms import Var, aconv, free_vars_set, var_subst
 
-#: Chain length: comfortably above both the 2000-gate target and the
-#: default interpreter recursion limit (1000).
-CHAIN = 2200
+#: Chain length: each XOR level emits ~4 gates/lets, so 1100 levels put the
+#: gate count comfortably above the 2000-gate target and the serial let
+#: depth far beyond the default interpreter recursion limit (1000).
+CHAIN = 1100
 
 
 def chain_netlist(n: int = CHAIN) -> Netlist:
-    """A 1-bit circuit with ``n`` chained NOT gates between two registers."""
+    """A 1-bit circuit with an ``n``-deep XOR chain between two registers.
+
+    XOR lowers to an irredundant two-level AND/inverter structure, so the
+    structurally-hashed AIG behind the bit-blaster cannot collapse the
+    chain (a NOT chain would fold to a single inverted edge): both the
+    gate count and the embedded term depth track ``n``.
+    """
     nl = Netlist("deep_chain")
     nl.add_input("i")
     nl.add_net("r_out")
@@ -33,7 +40,7 @@ def chain_netlist(n: int = CHAIN) -> Netlist:
     for k in range(n):
         net = f"n{k}"
         nl.add_net(net)
-        nl.add_cell(f"g{k}", "NOT", [prev], net)
+        nl.add_cell(f"g{k}", "XOR", [prev, "i"], net)
         prev = net
     nl.add_register("r", prev, "r_out")
     nl.add_output("y")

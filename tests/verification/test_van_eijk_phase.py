@@ -1,0 +1,58 @@
+"""Regression: van Eijk candidate harvesting must track signature phase.
+
+The AIG maps a net and its complement onto one node reached through an
+inverted edge, so a naive port of the signature harvesting to the shared
+IR would bucket complement-equivalent nets (x vs ~x) and constant nets
+(constant-0 vs constant-1 — the two phases of the constant node) into one
+candidate class.  `van_eijk._simulation_signatures` keys buckets by the
+``(canonical_word, phase)`` pair instead, with the phase explicit; these
+tests pin that behaviour and the resulting verdicts.
+"""
+
+from repro.circuits.netlist import Netlist
+from repro.verification import van_eijk
+from repro.verification.van_eijk import check_equivalence
+
+
+def _phase_probe() -> Netlist:
+    """A gate-level circuit with a net, its complement and both constants."""
+    nl = Netlist("phase_probe")
+    nl.add_input("x")
+    nl.add_net("r_out")
+    nl.add_cell("c0", "CONST", [], "zero", params={"value": 0, "width": 1})
+    nl.add_cell("c1", "CONST", [], "one", params={"value": 1, "width": 1})
+    nl.add_cell("inv", "NOT", ["x"], "nx")
+    nl.add_cell("buf", "BUF", ["x"], "x2")
+    nl.add_cell("mix", "XOR", ["x", "r_out"], "d")
+    nl.add_register("r", "d", "r_out")
+    nl.add_output("x2")
+    return nl
+
+
+class TestPhaseExplicitSignatures:
+    def test_complement_nets_never_share_a_key(self):
+        sigs = van_eijk._simulation_signatures(_phase_probe(), cycles=48, seed=0)
+        # x and ~x share the canonical word but differ in the phase bit
+        canon_x, phase_x = sigs["x"]
+        canon_nx, phase_nx = sigs["nx"]
+        assert canon_x == canon_nx
+        assert phase_x != phase_nx
+        assert sigs["x"] != sigs["nx"]
+
+    def test_constant_nets_never_share_a_key(self):
+        sigs = van_eijk._simulation_signatures(_phase_probe(), cycles=48, seed=0)
+        canon0, phase0 = sigs["zero"]
+        canon1, phase1 = sigs["one"]
+        assert canon0 == canon1 == 0  # one constant node, two phases
+        assert (phase0, phase1) == (0, 1)
+        assert sigs["zero"] != sigs["one"]
+
+    def test_value_equal_nets_share_a_key(self):
+        sigs = van_eijk._simulation_signatures(_phase_probe(), cycles=48, seed=0)
+        assert sigs["x"] == sigs["x2"]  # genuine candidates still bucket
+
+    def test_verdict_on_identical_circuits_unaffected(self):
+        a, b = _phase_probe(), _phase_probe()
+        result = check_equivalence(a, b, simulation_cycles=32)
+        assert result.status == "equivalent"
+        assert result.stats["classes"] >= 1
