@@ -7,12 +7,21 @@ Usage::
 Both files are pytest-benchmark JSON records; the quantities compared are
 the deterministic cost counters each benchmark stores in ``extra_info`` —
 ``kernel_steps`` (kernel inferences), ``peak_nodes`` and ``ite_calls``
-(BDD engine work), ``aig_nodes`` (shared-IR size) and ``decisions`` (SAT
-search effort).  All are machine-independent, unlike wall-clock times,
+(BDD engine work), ``aig_nodes`` (shared-IR size), ``decisions`` (SAT
+search effort) and ``cache_hits`` / ``cache_misses`` (result-cache
+effectiveness).  All are machine-independent, unlike wall-clock times,
 so the comparison is stable across CI runners.  The script exits non-zero
-when any counter of a benchmark present in both files regresses by more
-than ``--tolerance`` (default 10%); new benchmarks, new counters and
-benchmarks without tracked counters are reported but never fail the run.
+when
+
+* any counter of a benchmark present in both files regresses by more than
+  ``--tolerance`` (default 10%), or
+* a tracked counter appears in the run but has no baseline entry — a newly
+  added counter must be baselined deliberately (``--rebaseline``) rather
+  than slip through unguarded; pass ``--allow-new`` to downgrade this to a
+  report (e.g. while a baseline refresh is in flight).
+
+Benchmarks missing from the run and benchmarks without tracked counters are
+reported but never fail the run.
 
 Regenerate the baseline after an intentional perf change with::
 
@@ -28,7 +37,7 @@ from typing import Dict
 
 #: the deterministic counters guarded against regressions
 TRACKED_COUNTERS = ("kernel_steps", "peak_nodes", "ite_calls",
-                    "aig_nodes", "decisions")
+                    "aig_nodes", "decisions", "cache_hits", "cache_misses")
 
 
 def load_counters(path: str) -> Dict[str, Dict[str, int]]:
@@ -66,7 +75,8 @@ def rebaseline(run_path: str, baseline_path: str) -> int:
     return 0
 
 
-def compare(baseline_path: str, run_path: str, tolerance: float) -> int:
+def compare(baseline_path: str, run_path: str, tolerance: float,
+            allow_new: bool = False) -> int:
     baseline = load_counters(baseline_path)
     current = load_counters(run_path)
     if not baseline:
@@ -74,6 +84,7 @@ def compare(baseline_path: str, run_path: str, tolerance: float) -> int:
         return 2
 
     failures = []
+    unbaselined = []
     for name in sorted(baseline):
         if name not in current:
             print(f"  [missing ] {name}: in baseline but not in this run")
@@ -81,8 +92,9 @@ def compare(baseline_path: str, run_path: str, tolerance: float) -> int:
         for counter in TRACKED_COUNTERS:
             if counter not in baseline[name]:
                 if counter in current[name]:
-                    print(f"  [new      ] {name}/{counter}: "
-                          f"{current[name][counter]} (no baseline yet)")
+                    print(f"  [NO BASE  ] {name}/{counter}: "
+                          f"{current[name][counter]} has no baseline entry")
+                    unbaselined.append((name, counter, current[name][counter]))
                 continue
             old = baseline[name][counter]
             if counter not in current[name]:
@@ -98,11 +110,23 @@ def compare(baseline_path: str, run_path: str, tolerance: float) -> int:
                 marker = "improved"
             print(f"  [{marker:9s}] {name}/{counter}: {old} -> {new} ({change:+.1%})")
     for name in sorted(set(current) - set(baseline)):
-        rendered = ", ".join(
-            f"{counter}={value}" for counter, value in sorted(current[name].items())
-        )
-        print(f"  [new      ] {name}: {rendered} (no baseline yet)")
+        for counter, value in sorted(current[name].items()):
+            print(f"  [NO BASE  ] {name}/{counter}: {value} has no baseline entry")
+            unbaselined.append((name, counter, value))
 
+    status = 0
+    if unbaselined:
+        if allow_new:
+            print(f"\nnote: {len(unbaselined)} unbaselined counter(s) "
+                  f"allowed by --allow-new")
+        else:
+            print(f"\nFAIL: {len(unbaselined)} tracked counter(s) have no "
+                  f"baseline entry; every tracked counter must be baselined "
+                  f"deliberately:")
+            for name, counter, value in unbaselined:
+                print(f"  {name}/{counter} = {value} — regenerate the baseline "
+                      f"(compare_baseline.py --rebaseline) or pass --allow-new")
+            status = 1
     if failures:
         print(
             f"\nFAIL: {len(failures)} counter(s) exceed the baseline "
@@ -110,9 +134,10 @@ def compare(baseline_path: str, run_path: str, tolerance: float) -> int:
         )
         for name, old, new in failures:
             print(f"  {name}: {old} -> {new}")
-        return 1
-    print(f"\nOK: deterministic counters within {tolerance:.0%} of the baseline")
-    return 0
+        status = 1
+    if status == 0:
+        print(f"\nOK: deterministic counters within {tolerance:.0%} of the baseline")
+    return status
 
 
 def main(argv=None) -> int:
@@ -121,12 +146,16 @@ def main(argv=None) -> int:
     parser.add_argument("run", help="fresh benchmark JSON (or the baseline target, with --rebaseline)")
     parser.add_argument("--tolerance", type=float, default=0.10,
                         help="allowed fractional counter increase (default 0.10)")
+    parser.add_argument("--allow-new", action="store_true",
+                        help="report (rather than fail on) tracked counters "
+                             "that have no baseline entry yet")
     parser.add_argument("--rebaseline", action="store_true",
                         help="write a new baseline from the run instead of comparing")
     args = parser.parse_args(argv)
     if args.rebaseline:
         return rebaseline(args.baseline, args.run)
-    return compare(args.baseline, args.run, args.tolerance)
+    return compare(args.baseline, args.run, args.tolerance,
+                   allow_new=args.allow_new)
 
 
 if __name__ == "__main__":

@@ -8,21 +8,32 @@ One front end for the whole evaluation layer, built on the two registries:
   — measure any registered scenario with any registered backends;
 * ``python -m repro list-backends`` / ``list-scenarios`` — discover what is
   registered;
-* ``python -m repro ablations`` — the Section-V ablation studies.
+* ``python -m repro ablations`` — the Section-V ablation studies;
+* ``python -m repro serve`` — the resident evaluation daemon (persistent
+  worker pool + shared result cache); ``repro run ... --via-daemon``
+  submits cells to it instead of running them locally;
+* ``python -m repro cache stats|clear`` — manage the content-addressed
+  result cache.
 
-``--jobs N`` runs up to ``N`` cells concurrently, each in its own worker
-subprocess with the time budget enforced as a wall-clock kill; results are
-collected in table order, so the output is byte-identical for every
-``--jobs`` value.  ``--no-isolate`` reverts to in-process execution with
-cooperative budget checks (no kills, no parallelism).
+``--jobs N`` runs up to ``N`` cells concurrently on a pool of worker
+subprocesses with the time budget enforced as a wall-clock kill; results
+are collected in table order, so the output is byte-identical for every
+``--jobs`` value — and, with cached cells, identical again through
+``--via-daemon``.  ``--no-isolate`` reverts to in-process execution with
+cooperative budget checks (no kills, no parallelism).  Every run uses the
+on-disk result cache under ``.benchmarks/cache/`` unless ``--no-cache``;
+a ``cache: hits=H misses=M`` summary goes to stderr so the table on
+stdout stays byte-comparable.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import Any, Dict, List, Optional, Sequence
 
-from .eval import runner, scenarios, table1, table2
+from .eval import cache as result_cache
+from .eval import runner, scenarios, service, table1, table2
 from .verification import registry
 
 
@@ -102,12 +113,32 @@ def _make_stream_printer():
 def _cmd_run(args: argparse.Namespace) -> int:
     params: Dict[str, Any] = dict(args.param or [])
     isolate = not args.no_isolate
+    if args.via_daemon and args.no_isolate:
+        print("error: --via-daemon and --no-isolate are mutually exclusive",
+              flush=True)
+        return 2
+    client = None
+    cache = None
+    if args.via_daemon:
+        client = service.DaemonClient(args.socket)
+        try:
+            client.ping()
+        except (OSError, EOFError):
+            print(f"error: no daemon listening on {client.socket_path} "
+                  "(start one with: python -m repro serve)", flush=True)
+            return 2
+    elif not args.no_cache:
+        cache = result_cache.ResultCache(
+            args.cache_dir or result_cache.default_cache_dir()
+        )
     common = dict(
         time_budget=args.budget,
         node_budget=args.node_budget,
         jobs=1 if args.no_isolate else args.jobs,
         isolate=isolate,
         on_result=_make_stream_printer() if args.stream else None,
+        cache=cache,
+        client=client,
     )
     try:
         methods = _parse_methods(args.methods)
@@ -145,6 +176,77 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except (KeyError, TypeError, ValueError) as exc:
         print(f"error: {exc}", flush=True)
         return 2
+    # the cache summary goes to stderr: stdout carries only the table, so
+    # cold and warm runs stay byte-comparable (the CI daemon-smoke lane
+    # diffs stdout and greps stderr for the hit counters)
+    if client is not None:
+        print(f"cache: hits={client.stats['cache_hits']} "
+              f"misses={client.stats['cache_misses']} (daemon)",
+              file=sys.stderr, flush=True)
+    elif cache is not None:
+        print(f"cache: hits={cache.hits} misses={cache.misses}",
+              file=sys.stderr, flush=True)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    socket_path = args.socket or service.default_socket_path()
+    if args.stop:
+        try:
+            service.DaemonClient(socket_path).shutdown()
+        except (OSError, EOFError):
+            print(f"no daemon listening on {socket_path}", flush=True)
+            return 1
+        print(f"daemon on {socket_path} stopped", flush=True)
+        return 0
+    if args.ping:
+        try:
+            info = service.DaemonClient(socket_path).ping()
+        except (OSError, EOFError):
+            print(f"no daemon listening on {socket_path}", flush=True)
+            return 1
+        print(f"daemon alive on {socket_path}: pid={info['pid']} "
+              f"jobs={info['jobs']} cells_run={info['cells_run']} "
+              f"recycled={info['recycled']}", flush=True)
+        return 0
+    cache = None
+    if not args.no_cache:
+        cache = result_cache.ResultCache(
+            args.cache_dir or result_cache.default_cache_dir()
+        )
+    try:
+        service.serve(socket_path, jobs=args.jobs, cache=cache,
+                      log=lambda line: print(line, flush=True))
+    except RuntimeError as exc:  # another daemon already owns the socket
+        print(f"error: {exc}", flush=True)
+        return 2
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    directory = args.cache_dir or result_cache.default_cache_dir()
+    store = result_cache.ResultCache(directory)
+    if args.action == "stats":
+        count, nbytes = store.disk_entries()
+        print(f"cache dir : {directory}")
+        print(f"entries   : {count} ({nbytes} bytes)")
+        try:
+            live = service.DaemonClient(args.socket).cache_stats()
+        except (OSError, EOFError):
+            live = None
+        if live is not None:
+            print(f"daemon    : hits={live['hits']} misses={live['misses']} "
+                  f"stores={live['stores']} "
+                  f"memory_entries={live['memory_entries']}")
+        return 0
+    removed = store.clear()
+    try:  # a resident daemon caches in memory too — clear it as well
+        removed = max(removed, service.DaemonClient(args.socket).cache_clear())
+    except (OSError, EOFError):
+        pass
+    print(f"removed {removed} cached result(s) from {directory}")
     return 0
 
 
@@ -218,7 +320,54 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print each cell as its future completes "
                             "(completion order); the final table render is "
                             "unchanged")
+    run_p.add_argument("--via-daemon", action="store_true",
+                       help="submit cells to a resident `repro serve` daemon "
+                            "(its pool size applies; --jobs is ignored)")
+    run_p.add_argument("--socket", default=None,
+                       help="daemon socket path (default: $REPRO_SOCKET or "
+                            f"{service.DEFAULT_SOCKET})")
+    run_p.add_argument("--no-cache", action="store_true",
+                       help="disable the content-addressed result cache "
+                            "(local modes; the daemon owns its own cache)")
+    run_p.add_argument("--cache-dir", default=None,
+                       help="result cache directory (default: "
+                            f"$REPRO_CACHE_DIR or {result_cache.DEFAULT_CACHE_DIR})")
     run_p.set_defaults(func=_cmd_run)
+
+    serve_p = sub.add_parser(
+        "serve", help="run the resident evaluation daemon",
+        description="Serve cell jobs from a persistent worker pool with a "
+                    "shared content-addressed result cache.  Clients submit "
+                    "batches with `repro run ... --via-daemon`; repeated "
+                    "cells are served from cache without re-proving.",
+    )
+    serve_p.add_argument("--jobs", type=int, default=2,
+                         help="persistent worker subprocesses (default 2)")
+    serve_p.add_argument("--socket", default=None,
+                         help="socket path (default: $REPRO_SOCKET or "
+                              f"{service.DEFAULT_SOCKET})")
+    serve_p.add_argument("--cache-dir", default=None,
+                         help="result cache directory (default: "
+                              f"$REPRO_CACHE_DIR or {result_cache.DEFAULT_CACHE_DIR})")
+    serve_p.add_argument("--no-cache", action="store_true",
+                         help="serve without any result cache")
+    serve_p.add_argument("--stop", action="store_true",
+                         help="shut a running daemon down cleanly and exit")
+    serve_p.add_argument("--ping", action="store_true",
+                         help="check whether a daemon is listening and exit")
+    serve_p.set_defaults(func=_cmd_serve)
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect or clear the content-addressed result cache",
+    )
+    cache_p.add_argument("action", choices=("stats", "clear"))
+    cache_p.add_argument("--cache-dir", default=None,
+                         help="result cache directory (default: "
+                              f"$REPRO_CACHE_DIR or {result_cache.DEFAULT_CACHE_DIR})")
+    cache_p.add_argument("--socket", default=None,
+                         help="also query/clear a resident daemon's cache "
+                              "through this socket")
+    cache_p.set_defaults(func=_cmd_cache)
 
     lb = sub.add_parser("list-backends", help="list registered verification backends")
     lb.set_defaults(func=_cmd_list_backends)

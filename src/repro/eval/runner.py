@@ -7,26 +7,31 @@ can run
 * **in-process** (``isolate=False``) — the historical mode, used by the
   pytest-benchmark harness where the measurement loop must stay in one
   process, with *cooperative* budget checks inside the checkers; or
-* **process-isolated** (``isolate=True``) — every cell runs in its own
-  worker subprocess, up to ``jobs`` of them concurrently, and the time
-  budget is an *enforced* wall-clock kill: a backend that never polls its
-  budget (or is stuck inside a single huge BDD operation) is terminated at
-  the limit and reported as the paper's dash.
+* **process-isolated** (``isolate=True``) — cells run on a persistent
+  pool of worker subprocesses (:class:`repro.eval.service.WorkerPool`),
+  up to ``jobs`` concurrently, and the time budget is an *enforced*
+  wall-clock kill: a backend that never polls its budget (or is stuck
+  inside a single huge BDD operation) is killed at the limit, reported as
+  the paper's dash, and its worker is recycled so the pool stays live.
+
+Two orthogonal extensions feed both modes: a content-addressed result
+cache (:mod:`repro.eval.cache`) that short-circuits already-proved cells
+before any dispatch, and a resident daemon (:mod:`repro.eval.service`,
+``python -m repro serve``) that owns a pool + cache across invocations and
+accepts batches through :class:`~repro.eval.service.DaemonClient`.
 
 Results are collected by submission index, never by completion order, so a
-table produced with ``jobs=4`` has exactly the same rows, columns and
-statuses as the serial one — the only run-to-run variation is the measured
-wall-clock digits themselves (with deterministic cell results the output
-is byte-identical, which ``tests/eval/test_runner.py`` pins down).
+table produced with ``jobs=4`` — or served by the daemon — has exactly the
+same rows, columns and statuses as the serial one; with cached or
+deterministic cell results the output is byte-identical, which
+``tests/eval/test_runner.py`` and ``tests/eval/test_service.py`` pin down.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import time
-from collections import deque
 from dataclasses import dataclass, field
-from multiprocessing import connection as mp_connection
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..verification.registry import get_checker, run_checker
@@ -146,26 +151,6 @@ def _mp_context():
         return multiprocessing.get_context("spawn")
 
 
-def _cell_worker(conn, spec: CellSpec) -> None:
-    """Subprocess entry point: run one cell and ship the Measurement back."""
-    try:
-        measurement = run_cell(
-            spec.workload, spec.method, spec.time_budget, spec.node_budget
-        )
-    except BaseException as exc:  # the parent must always receive *something*
-        measurement = Measurement(
-            workload=spec.workload.name,
-            method=spec.method,
-            status="failed",
-            seconds=0.0,
-            detail=f"worker crashed: {type(exc).__name__}: {exc}",
-        )
-    try:
-        conn.send(measurement)
-    finally:
-        conn.close()
-
-
 def _killed_measurement(spec: CellSpec) -> Measurement:
     return Measurement(
         workload=spec.workload.name,
@@ -182,102 +167,83 @@ def run_cells(
     isolate: bool = False,
     grace: float = KILL_GRACE,
     on_result: Optional[Callable[[int, Measurement], None]] = None,
+    cache=None,
+    client=None,
 ) -> List[Measurement]:
-    """Run many cells, optionally isolated and in parallel.
+    """Run many cells, optionally isolated, in parallel, cached or remote.
 
     With ``isolate=False`` (and necessarily ``jobs=1``) cells run serially
-    in this process.  With ``isolate=True`` each cell gets its own worker
-    subprocess; at most ``jobs`` run concurrently, and a worker still alive
-    ``grace`` seconds past its cell's time budget is terminated and recorded
+    in this process.  With ``isolate=True`` cells run on a persistent
+    :class:`~repro.eval.service.WorkerPool` of at most ``jobs`` worker
+    subprocesses; a worker still alive ``grace`` seconds past its cell's
+    time budget is killed (and the pool recycles it), recording the cell
     as a timeout.  The returned list always matches ``specs`` order.
 
+    ``cache`` is an optional :class:`~repro.eval.cache.ResultCache`: cells
+    whose content-addressed digest is already cached short-circuit before
+    any worker dispatch, and freshly computed ``ok``/``timeout`` cells are
+    stored back.  ``client`` is an optional
+    :class:`~repro.eval.service.DaemonClient`: the whole batch is submitted
+    to a resident ``python -m repro serve`` daemon instead of running
+    locally (the daemon owns its own pool and cache).  All four execution
+    modes — serial, pooled, cached, via-daemon — return the same
+    measurements for deterministic cells, so the rendered tables are
+    byte-identical.
+
     ``on_result`` is the streaming hook: it is invoked as ``(index,
-    measurement)`` the moment each cell finishes — in *completion* order
-    when cells run in parallel — while the returned list (and therefore any
-    final table render) stays in submission order, byte-identical whether
-    or not a callback is installed.
+    measurement)`` the moment each cell finishes — cache hits first (in
+    submission order), then computed cells in *completion* order — while
+    the returned list (and therefore any final table render) stays in
+    submission order, byte-identical whether or not a callback is
+    installed.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if not isolate and jobs != 1 and client is None:
+        raise ValueError("parallel execution requires isolate=True")
     for spec in specs:
         get_checker(spec.method)  # fail fast on unknown methods
-    if not isolate:
-        if jobs != 1:
-            raise ValueError("parallel execution requires isolate=True")
-        serial: List[Measurement] = []
-        for index, s in enumerate(specs):
-            measurement = run_cell(s.workload, s.method, s.time_budget,
-                                   s.node_budget)
-            if on_result is not None:
-                on_result(index, measurement)
-            serial.append(measurement)
-        return serial
+    if client is not None:
+        return client.run_cells(specs, on_result=on_result)
 
-    ctx = _mp_context()
     results: List[Optional[Measurement]] = [None] * len(specs)
-    queue = deque(range(len(specs)))
-    running: Dict[int, tuple] = {}  # index -> (process, connection, deadline)
+    keys: List[Optional[str]] = [None] * len(specs)
+    pending: List[int] = []
+    for index, spec in enumerate(specs):
+        cached = None
+        if cache is not None:
+            keys[index] = cache.key_for(spec)
+            cached = cache.lookup(keys[index])
+        if cached is not None:
+            results[index] = cached
+        else:
+            pending.append(index)
+    if on_result is not None:  # cache hits stream first, in submission order
+        for index, measurement in enumerate(results):
+            if measurement is not None:
+                on_result(index, measurement)
 
-    try:
-        while queue or running:
-            while queue and len(running) < jobs:
-                index = queue.popleft()
-                spec = specs[index]
-                parent_conn, child_conn = ctx.Pipe(duplex=False)
-                process = ctx.Process(
-                    target=_cell_worker, args=(child_conn, spec), daemon=True
-                )
-                process.start()
-                child_conn.close()
-                deadline = time.monotonic() + spec.time_budget + grace
-                running[index] = (process, parent_conn, deadline)
+    def _complete(index: int, measurement: Measurement) -> None:
+        results[index] = measurement
+        if cache is not None:
+            cache.store(keys[index], measurement)
+        if on_result is not None:
+            on_result(index, measurement)
 
-            # sleep until either a worker's pipe becomes readable (wait
-            # returns early) or the nearest kill deadline arrives
-            now = time.monotonic()
-            wait_for = min(dl for (_, _, dl) in running.values()) - now
-            ready = mp_connection.wait(
-                [conn for (_, conn, _) in running.values()],
-                timeout=max(0.0, wait_for),
-            )
-            ready_set = set(ready)
-            for index in sorted(running):
-                process, conn, deadline = running[index]
-                if conn in ready_set:
-                    try:
-                        measurement = conn.recv()
-                    except EOFError:
-                        measurement = None
-                    conn.close()
-                    process.join()
-                    if measurement is None:
-                        measurement = Measurement(
-                            workload=specs[index].workload.name,
-                            method=specs[index].method,
-                            status="failed",
-                            seconds=0.0,
-                            detail="worker exited without a result "
-                                   f"(exit code {process.exitcode})",
-                        )
-                    results[index] = measurement
-                    del running[index]
-                    if on_result is not None:
-                        on_result(index, measurement)
-                elif time.monotonic() >= deadline:
-                    process.terminate()
-                    process.join(1.0)
-                    if process.is_alive():  # pragma: no cover - stubborn worker
-                        process.kill()
-                        process.join()
-                    conn.close()
-                    results[index] = _killed_measurement(specs[index])
-                    del running[index]
-                    if on_result is not None:
-                        on_result(index, results[index])
-    finally:
-        for process, conn, _ in running.values():
-            process.terminate()
-            conn.close()
+    if not pending:
+        return results  # type: ignore[return-value]
+    if not isolate:
+        for index in pending:
+            spec = specs[index]
+            _complete(index, run_cell(spec.workload, spec.method,
+                                      spec.time_budget, spec.node_budget))
+        return results  # type: ignore[return-value]
+
+    from .service import WorkerPool  # deferred: service builds on this module
+
+    with WorkerPool(min(jobs, len(pending)), grace=grace) as pool:
+        pool.run([(index, specs[index]) for index in pending],
+                 on_result=_complete)
 
     assert all(m is not None for m in results)
     return results  # type: ignore[return-value]
@@ -302,12 +268,14 @@ def run_row(
     jobs: int = 1,
     isolate: Optional[bool] = None,
     on_result: Optional[Callable[[int, Measurement], None]] = None,
+    cache=None,
+    client=None,
 ) -> Row:
     """Measure every requested method on one workload."""
     isolate = (jobs > 1) if isolate is None else isolate
     specs = [CellSpec(workload, m, time_budget, node_budget) for m in methods]
     measurements = run_cells(specs, jobs=jobs, isolate=isolate,
-                             on_result=on_result)
+                             on_result=on_result, cache=cache, client=client)
     return Row(workload=workload, cells={m.method: m for m in measurements})
 
 
@@ -319,6 +287,8 @@ def run_rows(
     jobs: int = 1,
     isolate: Optional[bool] = None,
     on_result: Optional[Callable[[int, Measurement], None]] = None,
+    cache=None,
+    client=None,
 ) -> List[Row]:
     """Measure a whole table, parallelising across *all* cells of all rows."""
     isolate = (jobs > 1) if isolate is None else isolate
@@ -328,7 +298,7 @@ def run_rows(
         for method in methods
     ]
     measurements = run_cells(specs, jobs=jobs, isolate=isolate,
-                             on_result=on_result)
+                             on_result=on_result, cache=cache, client=client)
     rows: List[Row] = []
     per_row = len(methods)
     for i, workload in enumerate(workloads):

@@ -113,7 +113,14 @@ def build_scenario(name: str, **params: Any) -> List[Workload]:
         )
     merged = dict(scenario.defaults)
     merged.update(params)
-    return scenario.build(**merged)
+    workloads = scenario.build(**merged)
+    for workload in workloads:
+        # factories stamp per-workload provenance themselves; fall back to the
+        # whole sweep's parameters for scenarios that do not (the result cache
+        # still distinguishes cells by workload name and circuit content)
+        if workload.provenance is None:
+            workload.provenance = {"scenario": name, "params": merged}
+    return workloads
 
 
 # ---------------------------------------------------------------------------
@@ -164,9 +171,13 @@ def _counters_scenario(widths: Sequence[int]) -> List[Workload]:
     out: List[Workload] = []
     for n in as_seq(widths):
         n = int(n)
-        out.append(make_workload(counter(n)))
-        out.append(make_workload(gray_counter(n)))
-        out.append(make_workload(shift_register(n)))
+        for kind, build in (("counter", counter), ("gray", gray_counter),
+                            ("shift", shift_register)):
+            out.append(make_workload(
+                build(n),
+                provenance={"scenario": "counters",
+                            "params": {"kind": kind, "n": n}},
+            ))
     return out
 
 
@@ -179,7 +190,10 @@ def _counters_scenario(widths: Sequence[int]) -> List[Workload]:
 )
 def _multiplier_scenario(widths: Sequence[int]) -> List[Workload]:
     return [
-        make_workload(fractional_multiplier(int(n)), cut=multiplier_retiming_cut())
+        make_workload(
+            fractional_multiplier(int(n)), cut=multiplier_retiming_cut(),
+            provenance={"scenario": "multiplier", "params": {"n": int(n)}},
+        )
         for n in as_seq(widths)
     ]
 
@@ -209,6 +223,8 @@ def _strash_scenario(widths: Sequence[int]) -> List[Workload]:
                 original=gate,
                 cut=maximal_forward_cut(gate),
                 retimed=rebuilt,
+                provenance={"scenario": "strash",
+                            "params": {"base": netlist.name, "n": n}},
             ))
     return out
 
@@ -230,7 +246,11 @@ def _random_seq_scenario(
         make_workload(
             random_sequential_circuit(
                 int(n_inputs), int(n_flipflops), int(n_gates), seed=int(seed)
-            )
+            ),
+            provenance={"scenario": "random_seq",
+                        "params": {"seed": int(seed), "n_inputs": int(n_inputs),
+                                   "n_flipflops": int(n_flipflops),
+                                   "n_gates": int(n_gates)}},
         )
         for seed in as_seq(seeds)
     ]

@@ -34,6 +34,8 @@ def run_table1(
     jobs: int = 1,
     isolate: Optional[bool] = None,
     on_result=None,
+    cache=None,
+    client=None,
 ) -> List[Row]:
     """Measure Table I.
 
@@ -57,7 +59,7 @@ def run_table1(
         to_run = [m for m in methods if m not in skipped]
         row = run_row(workload, to_run, time_budget=time_budget,
                       node_budget=node_budget, jobs=jobs, isolate=isolate,
-                      on_result=on_result)
+                      on_result=on_result, cache=cache, client=client)
         for offset, method in enumerate(skipped):
             measurement = Measurement(
                 workload=workload.name, method=method, status="timeout",

@@ -38,6 +38,8 @@ def run_table2(
     jobs: int = 1,
     isolate: Optional[bool] = None,
     on_result=None,
+    cache=None,
+    client=None,
 ) -> List[Row]:
     """Measure Table II (optionally on a scaled-down suite).
 
@@ -49,7 +51,7 @@ def run_table2(
     workloads = table2_workloads(scale=scale, names=names)
     return run_rows(workloads, methods, time_budget=time_budget,
                     node_budget=node_budget, jobs=jobs, isolate=isolate,
-                    on_result=on_result)
+                    on_result=on_result, cache=cache, client=client)
 
 
 def render(rows: Sequence[Row], methods: Optional[Sequence[str]] = None) -> str:

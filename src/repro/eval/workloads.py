@@ -10,8 +10,8 @@ number of retimable gates").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..circuits.generators import figure2, iwls_circuit
 from ..circuits.generators.iwls import IWLS_BENCHMARKS, BenchmarkSpec
@@ -28,6 +28,11 @@ class Workload:
     original: Netlist
     cut: List[str]
     retimed: Netlist
+    #: where this workload came from — ``{"scenario": name, "params": {...}}``
+    #: with the *per-workload* parameters (not the whole sweep), so identical
+    #: cells built through different sweeps share a result-cache key.  ``None``
+    #: for ad-hoc workloads; the cache then keys on circuit content alone.
+    provenance: Optional[Dict[str, Any]] = field(default=None, compare=False)
 
     @property
     def flipflops(self) -> int:
@@ -39,7 +44,8 @@ class Workload:
 
 
 def make_workload(netlist: Netlist, cut: Optional[Sequence[str]] = None,
-                  name: Optional[str] = None) -> Workload:
+                  name: Optional[str] = None,
+                  provenance: Optional[Dict[str, Any]] = None) -> Workload:
     """Bundle a netlist with its (maximal) cut and the conventionally retimed circuit."""
     chosen = list(cut) if cut is not None else maximal_forward_cut(netlist)
     if not chosen:
@@ -50,6 +56,7 @@ def make_workload(netlist: Netlist, cut: Optional[Sequence[str]] = None,
         original=netlist,
         cut=chosen,
         retimed=retimed,
+        provenance=provenance,
     )
 
 
@@ -63,7 +70,10 @@ TABLE1_WIDTHS_QUICK: List[int] = [1, 2, 4, 6, 8]
 
 def table1_workload(n: int) -> Workload:
     """The Figure-2 example at bit width ``n`` with its maximal cut."""
-    return make_workload(figure2(n), name=f"figure2 n={n}")
+    return make_workload(
+        figure2(n), name=f"figure2 n={n}",
+        provenance={"scenario": "figure2", "params": {"n": int(n)}},
+    )
 
 
 def table2_workloads(scale: float = 1.0,
@@ -75,5 +85,9 @@ def table2_workloads(scale: float = 1.0,
     out = []
     for spec in selected:
         netlist = iwls_circuit(spec.name, scale=scale)
-        out.append(make_workload(netlist, name=spec.name))
+        out.append(make_workload(
+            netlist, name=spec.name,
+            provenance={"scenario": "iwls",
+                        "params": {"name": spec.name, "scale": float(scale)}},
+        ))
     return out

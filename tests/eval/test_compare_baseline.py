@@ -1,0 +1,123 @@
+"""Tests for the CI counter guard (``benchmarks/compare_baseline.py``).
+
+The policy under test: a tracked counter that appears in a run but has no
+baseline entry *fails* the comparison with a per-counter message pointing at
+``--rebaseline`` — new counters (like ``cache_hits``/``cache_misses``) must
+be baselined deliberately, never slip through unguarded.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_PATH = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                     "benchmarks", "compare_baseline.py")
+_SPEC = importlib.util.spec_from_file_location("compare_baseline", _PATH)
+compare_baseline = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(compare_baseline)
+
+
+def _record(path, benches):
+    payload = {"benchmarks": [
+        {"name": name, "extra_info": counters} for name, counters in benches
+    ]}
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+@pytest.fixture()
+def files(tmp_path):
+    def make(baseline, run):
+        return (_record(tmp_path / "baseline.json", baseline),
+                _record(tmp_path / "run.json", run))
+    return make
+
+
+class TestTrackedCounters:
+    def test_cache_counters_are_tracked(self):
+        assert "cache_hits" in compare_baseline.TRACKED_COUNTERS
+        assert "cache_misses" in compare_baseline.TRACKED_COUNTERS
+
+
+class TestCompare:
+    def test_within_tolerance_passes(self, files, capsys):
+        base, run = files([("b", {"kernel_steps": 100})],
+                          [("b", {"kernel_steps": 105})])
+        assert compare_baseline.compare(base, run, 0.10) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_regression_fails(self, files, capsys):
+        base, run = files([("b", {"kernel_steps": 100})],
+                          [("b", {"kernel_steps": 150})])
+        assert compare_baseline.compare(base, run, 0.10) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_new_counter_on_known_benchmark_fails(self, files, capsys):
+        base, run = files(
+            [("b", {"kernel_steps": 100})],
+            [("b", {"kernel_steps": 100, "cache_hits": 6})])
+        assert compare_baseline.compare(base, run, 0.10) == 1
+        out = capsys.readouterr().out
+        assert "b/cache_hits" in out
+        assert "--rebaseline" in out
+
+    def test_new_benchmark_fails_per_counter(self, files, capsys):
+        base, run = files(
+            [("old", {"kernel_steps": 100})],
+            [("old", {"kernel_steps": 100}),
+             ("fresh", {"cache_hits": 6, "cache_misses": 0})])
+        assert compare_baseline.compare(base, run, 0.10) == 1
+        out = capsys.readouterr().out
+        assert "fresh/cache_hits" in out and "fresh/cache_misses" in out
+
+    def test_allow_new_downgrades_to_report(self, files, capsys):
+        base, run = files(
+            [("old", {"kernel_steps": 100})],
+            [("old", {"kernel_steps": 100}), ("fresh", {"cache_hits": 6})])
+        assert compare_baseline.compare(base, run, 0.10, allow_new=True) == 0
+        out = capsys.readouterr().out
+        assert "allowed by --allow-new" in out and "OK" in out
+
+    def test_benchmark_missing_from_run_only_reports(self, files, capsys):
+        base, run = files(
+            [("a", {"kernel_steps": 1}), ("b", {"kernel_steps": 2})],
+            [("a", {"kernel_steps": 1})])
+        assert compare_baseline.compare(base, run, 0.10) == 0
+        assert "missing" in capsys.readouterr().out
+
+    def test_empty_baseline_is_an_error(self, files):
+        base, run = files([], [("b", {"kernel_steps": 1})])
+        assert compare_baseline.compare(base, run, 0.10) == 2
+
+    def test_regression_and_unbaselined_both_reported(self, files, capsys):
+        base, run = files(
+            [("b", {"kernel_steps": 100})],
+            [("b", {"kernel_steps": 200, "cache_hits": 1})])
+        assert compare_baseline.compare(base, run, 0.10) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "cache_hits" in out
+
+
+class TestRebaseline:
+    def test_rebaseline_captures_tracked_counters(self, tmp_path):
+        run = _record(tmp_path / "run.json",
+                      [("b", {"cache_hits": 6, "cache_misses": 0,
+                              "untracked": 9})])
+        target = str(tmp_path / "baseline.json")
+        assert compare_baseline.rebaseline(run, target) == 0
+        written = json.loads(open(target).read())
+        assert written["benchmarks"] == [
+            {"name": "b", "extra_info": {"cache_hits": 6, "cache_misses": 0}}
+        ]
+        # and a comparison against the fresh baseline now passes
+        assert compare_baseline.compare(target, run, 0.10) == 0
+
+    def test_main_allow_new_flag(self, tmp_path, capsys):
+        base = _record(tmp_path / "baseline.json", [("b", {"kernel_steps": 1})])
+        run = _record(tmp_path / "run.json",
+                      [("b", {"kernel_steps": 1, "cache_hits": 2})])
+        assert compare_baseline.main([base, run]) == 1
+        capsys.readouterr()
+        assert compare_baseline.main([base, run, "--allow-new"]) == 0
