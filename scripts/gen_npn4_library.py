@@ -1,0 +1,232 @@
+"""Generate the minimum-AND replacement library for the 222 NPN classes.
+
+Writes ``src/repro/circuits/npn4_library.json``, the data file that
+:mod:`repro.circuits.aig_rewrite` instantiates during cut rewriting.  Run
+from the repository root::
+
+    PYTHONPATH=src python scripts/gen_npn4_library.py
+
+The search enumerates AND trees breadth-first by cost (an AND costs 1,
+complements are free), seeding with the constant and the four elementary
+variables and combining every known function pair per cost level, so the
+first recipe found for a truth table is tree-cost-optimal.  Shared
+sub-recipes make the emitted structure a DAG: equal subfunctions reuse one
+node.  Any canonical representative not reached within the pair budget is
+filled by Shannon decomposition on its cheapest variable — still correct,
+merely not guaranteed tree-optimal (in practice the budget covers all 222
+classes exhaustively).
+
+The canonical form must match the runtime exactly, so the script imports
+``npn_canonical`` from the library's consumer rather than re-implementing
+it.  Every emitted structure is re-evaluated and asserted equal to its
+class representative before the file is written.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.circuits.aig_rewrite import (  # noqa: E402
+    ELEM_TT,
+    LIBRARY_PATH,
+    LIBRARY_VERSION,
+    TT_MASK,
+    _structure_tt,
+    _transform_maps,
+)
+
+#: stop the exhaustive pair enumeration after this many AND combinations
+#: per cost level sweep (the full space closes well inside the budget)
+PAIR_BUDGET = 600_000_000
+
+
+def npn_classes():
+    """All 222 canonical representatives, via orbit enumeration."""
+    maps = _transform_maps()
+    seen = [False] * (TT_MASK + 1)
+    reps = []
+    for tt in range(TT_MASK + 1):
+        if seen[tt]:
+            continue
+        orbit_min = tt
+        for _perm, _cmask, index_map in maps:
+            g = 0
+            for y in range(16):
+                if (tt >> index_map[y]) & 1:
+                    g |= 1 << y
+            for image in (g, g ^ TT_MASK):
+                if not seen[image]:
+                    seen[image] = True
+                if image < orbit_min:
+                    orbit_min = image
+        reps.append(orbit_min)
+    return sorted(set(reps))
+
+
+def search(targets):
+    """BFS by cost over AND trees; returns (cost, recipe) per truth table.
+
+    ``recipe[tt]`` is ``("const",)``, ``("leaf", i)``, ``("not", tt)`` or
+    ``("and", tt_a, tt_b)``.
+    """
+    cost = {}
+    recipe = {}
+
+    def add(tt, c, rec):
+        if tt in cost:
+            return
+        cost[tt] = c
+        recipe[tt] = rec
+        neg = tt ^ TT_MASK
+        if neg not in cost:
+            cost[neg] = c
+            recipe[neg] = ("not", tt)
+
+    add(0, 0, ("const",))
+    for i, elem in enumerate(ELEM_TT):
+        add(elem, 0, ("leaf", i))
+
+    levels = {0: sorted(cost)}
+    remaining = set(targets) - set(cost)
+    pairs = 0
+    level = 0
+    while remaining and len(cost) <= TT_MASK and pairs < PAIR_BUDGET:
+        level += 1
+        fresh = []
+        for a in range((level - 1) // 2 + 1):
+            b = level - 1 - a
+            if a not in levels or b not in levels:
+                continue
+            la, lb = levels[a], levels[b]
+            for i, f in enumerate(la):
+                start = i if a == b else 0
+                for g in lb[start:]:
+                    pairs += 1
+                    h = f & g
+                    if h not in cost:
+                        add(h, level, ("and", f, g))
+                        fresh.append(h)
+                        fresh.append(h ^ TT_MASK)
+        levels[level] = sorted(set(fresh))
+        remaining -= set(cost)
+        print(f"  cost {level}: {len(cost)} functions known, "
+              f"{len(remaining)} classes open, {pairs} pairs", flush=True)
+        if not levels[level]:
+            break
+
+    # Shannon fill for anything the budget left open (normally nothing)
+    def ensure(tt):
+        stack = [tt]
+        while stack:
+            f = stack[-1]
+            if f in cost:
+                stack.pop()
+                continue
+            # cofactors: replicate the selected half across both halves
+            best = None
+            for i, elem in enumerate(ELEM_TT):
+                shift = 1 << i
+                hi_bits = f & elem
+                lo_bits = f & (elem ^ TT_MASK)
+                f1 = (hi_bits | (hi_bits >> shift)) & TT_MASK
+                f0 = (lo_bits | (lo_bits << shift)) & TT_MASK
+                if best is None:
+                    best = (i, f0, f1)
+                if f0 in cost and f1 in cost:
+                    best = (i, f0, f1)
+                    break
+            i, f0, f1 = best
+            missing = [c for c in (f0, f1) if c not in cost]
+            if missing:
+                stack.extend(missing)
+                continue
+            stack.pop()
+            elem = ELEM_TT[i]
+            u = elem & f1
+            v = (elem ^ TT_MASK) & f0
+            add(u, cost[f1] + 1, ("and", elem, f1))
+            add(v, cost[f0] + 1, ("and", elem ^ TT_MASK, f0))
+            w = (u ^ TT_MASK) & (v ^ TT_MASK)
+            add(w, cost[u] + cost[v] + 1, ("and", u ^ TT_MASK, v ^ TT_MASK))
+            if f not in cost:
+                cost[f] = cost[w]
+                recipe[f] = ("not", w)
+
+    for tt in targets:
+        ensure(tt)
+    return cost, recipe
+
+
+def emit_structure(tt, recipe):
+    """Flatten a recipe DAG into (nodes, root) in the library encoding."""
+    nodes = []
+    literal_of = {}  # truth table -> structure literal
+
+    def resolve(f):
+        stack = [f]
+        while stack:
+            g = stack[-1]
+            if g in literal_of:
+                stack.pop()
+                continue
+            rec = recipe[g]
+            if rec[0] == "const":
+                literal_of[g] = 0
+                stack.pop()
+            elif rec[0] == "leaf":
+                literal_of[g] = 2 * (1 + rec[1])
+                stack.pop()
+            elif rec[0] == "not":
+                if rec[1] in literal_of:
+                    literal_of[g] = literal_of[rec[1]] ^ 1
+                    stack.pop()
+                else:
+                    stack.append(rec[1])
+            else:
+                _, fa, fb = rec
+                missing = [c for c in (fa, fb) if c not in literal_of]
+                if missing:
+                    stack.extend(missing)
+                    continue
+                node_id = 5 + len(nodes)
+                nodes.append([literal_of[fa], literal_of[fb]])
+                literal_of[g] = 2 * node_id
+                stack.pop()
+        return literal_of[f]
+
+    root = resolve(tt)
+    return nodes, root
+
+
+def main():
+    print("enumerating NPN classes ...", flush=True)
+    reps = npn_classes()
+    print(f"{len(reps)} classes", flush=True)
+    assert len(reps) == 222, f"expected 222 NPN classes, found {len(reps)}"
+
+    print("searching minimum-AND structures ...", flush=True)
+    cost, recipe = search(reps)
+
+    classes = {}
+    for tt in reps:
+        nodes, root = emit_structure(tt, recipe)
+        built = _structure_tt([tuple(n) for n in nodes], root, ELEM_TT)
+        assert built == tt, f"structure for {tt:#06x} evaluates to {built:#06x}"
+        classes[str(tt)] = {"ands": len(nodes), "nodes": nodes, "root": root}
+
+    payload = {"version": LIBRARY_VERSION, "classes": classes}
+    with open(LIBRARY_PATH, "w") as fh:
+        json.dump(payload, fh, sort_keys=True, separators=(",", ":"))
+        fh.write("\n")
+    sizes = sorted(entry["ands"] for entry in classes.values())
+    print(f"wrote {LIBRARY_PATH}: {len(classes)} classes, "
+          f"AND counts min={sizes[0]} median={sizes[len(sizes) // 2]} "
+          f"max={sizes[-1]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -560,7 +560,150 @@ class _Emitter:
         return name
 
 
-def aig_to_netlist(lowered: NetlistAig, source, name: Optional[str] = None):
+class _PatternEmitter:
+    """Pattern-matching gate emitter (the ``patterns=True`` path).
+
+    The canonical 3-AND structures that :func:`mk_xor` and :func:`mk_mux`
+    build — ``¬(a·b)·¬(¬a·¬b)`` and ``¬(s·a)·¬(¬s·b)`` — are matched back
+    into single ``XOR``/``XNOR``/``MUX`` cells, and AND nodes demanded only
+    in complemented form become one ``NAND`` instead of ``AND`` + ``NOT``.
+    Emission is demand-driven: a marking pass (explicit stack) records
+    which ``(node, polarity)`` pairs are reachable from the requested
+    literals, then one cell per demanded pair is emitted in node index
+    order (fanins always precede readers, so ``add_cell`` input checks
+    hold).  Inner nodes of a matched structure are emitted only if some
+    other reader demands them.
+    """
+
+    def __init__(self, out, aig: Aig):
+        self.out = out
+        self.aig = aig
+        #: (node, polarity) -> net name carrying that literal
+        self.net: Dict[Tuple[int, int], str] = {}
+        self.demand: set = set()
+        self._rules: Dict[int, Optional[tuple]] = {}
+
+    def _match(self, node: int) -> Optional[tuple]:
+        """Classify an AND node: ``("xor", n0, n1, parity)`` means the plain
+        node is ``XOR(plain n0, plain n1) ^ parity``; ``("mux", s, a, b)``
+        (``s`` plain) means the *complemented* node is ``s ? a : b`` over
+        literals ``a``/``b``.  XOR is checked first — its shape is a special
+        case of the MUX shape."""
+        rule = self._rules.get(node, False)
+        if rule is not False:
+            return rule
+        rule = None
+        f0, f1 = self.aig.fanins(node)
+        if f0 & 1 and f1 & 1:
+            p, q = f0 >> 1, f1 >> 1
+            if p != q and self.aig.is_and(p) and self.aig.is_and(q):
+                a0, a1 = self.aig.fanins(p)
+                qf = self.aig.fanins(q)
+                if set(qf) == {a0 ^ 1, a1 ^ 1}:
+                    rule = ("xor", a0 >> 1, a1 >> 1, (a0 & 1) ^ (a1 & 1))
+                else:
+                    for s, branch_a in ((a0, a1), (a1, a0)):
+                        if s ^ 1 in qf:
+                            qa, qb = qf
+                            branch_b = qb if qa == s ^ 1 else qa
+                            if s & 1:  # MUX(¬t, a, b) = MUX(t, b, a)
+                                rule = ("mux", s ^ 1, branch_b, branch_a)
+                            else:
+                                rule = ("mux", s, branch_a, branch_b)
+                            break
+        self._rules[node] = rule
+        return rule
+
+    def require(self, literals) -> None:
+        """Mark every (node, polarity) pair the given literals demand."""
+        stack = [(literal >> 1, literal & 1) for literal in literals]
+        while stack:
+            pair = stack.pop()
+            if pair in self.demand:
+                continue
+            self.demand.add(pair)
+            node, pol = pair
+            if not self.aig.is_and(node):
+                continue
+            rule = self._match(node)
+            if rule is None:
+                for fanin in self.aig.fanins(node):
+                    stack.append((fanin >> 1, fanin & 1))
+            elif rule[0] == "xor":
+                stack.append((rule[1], 0))
+                stack.append((rule[2], 0))
+            else:
+                _, sel, branch_a, branch_b = rule
+                stack.append((sel >> 1, 0))
+                flip = pol ^ 1  # plain node is MUX(sel, ¬a, ¬b)
+                stack.append((branch_a >> 1, (branch_a & 1) ^ flip))
+                stack.append((branch_b >> 1, (branch_b & 1) ^ flip))
+
+    def emit(self) -> None:
+        """Emit one cell per demanded pair, in node index order."""
+        out, aig = self.out, self.aig
+        for node in range(aig.num_nodes):
+            for pol in (0, 1):
+                if (node, pol) not in self.demand or (node, pol) in self.net:
+                    continue
+                suffix = "b" if pol else ""
+                if aig.kind(node) == _CONST:
+                    self._add_gate(
+                        "CONST", [], out.fresh_net_name(f"aig_const{pol}"),
+                        (node, pol), params={"value": pol, "width": 1},
+                    )
+                    continue
+                if not aig.is_and(node):
+                    # inputs/latches are pre-named; pol 1 is one NOT
+                    self._add_gate(
+                        "NOT", [self.net[(node, 0)]],
+                        out.fresh_net_name(f"aig{node}b"), (node, pol),
+                    )
+                    continue
+                rule = self._match(node)
+                net = out.fresh_net_name(f"aig{node}{suffix}")
+                if rule is None:
+                    f0, f1 = aig.fanins(node)
+                    self._add_gate(
+                        "AND" if pol == 0 else "NAND",
+                        [self._lit_net(f0), self._lit_net(f1)], net,
+                        (node, pol),
+                    )
+                elif rule[0] == "xor":
+                    _, n0, n1, parity = rule
+                    self._add_gate(
+                        "XOR" if parity ^ pol == 0 else "XNOR",
+                        [self.net[(n0, 0)], self.net[(n1, 0)]], net,
+                        (node, pol),
+                    )
+                else:
+                    _, sel, branch_a, branch_b = rule
+                    flip = pol ^ 1
+                    self._add_gate(
+                        "MUX",
+                        [self.net[(sel >> 1, 0)],
+                         self._lit_net(branch_a ^ flip),
+                         self._lit_net(branch_b ^ flip)], net,
+                        (node, pol),
+                    )
+
+    def _lit_net(self, literal: int) -> str:
+        return self.net[(literal >> 1, literal & 1)]
+
+    def _add_gate(self, type: str, inputs: List[str], net: str,
+                  pair: Tuple[int, int], params=None) -> None:
+        self.out.add_net(net, 1)
+        cell = self.out.fresh_instance_name(f"g_{net}")
+        self.out.add_cell(cell, type, inputs, net, params=params or {})
+        self.net[pair] = net
+
+    def emit_lit(self, literal: int) -> str:
+        """The net of an (already demanded and emitted) literal."""
+        return self.net[(literal >> 1, literal & 1)]
+
+
+def aig_to_netlist(lowered: NetlistAig, source, name: Optional[str] = None,
+                   patterns: bool = False):
     """Emit a pure gate-level netlist from a lowered netlist's shared DAG.
 
     ``source`` is the original (word-level) netlist — it fixes the external
@@ -569,7 +712,14 @@ def aig_to_netlist(lowered: NetlistAig, source, name: Optional[str] = None):
     cells), complemented edges as at most one ``NOT`` cell per node, and
     constants as ``CONST`` cells only when used.  Returns the netlist plus
     the word-net -> bit-net name map.
+
+    With ``patterns=True`` the :class:`_PatternEmitter` is used instead:
+    canonical XOR/MUX AND structures collapse into single cells,
+    complement-only AND nodes become ``NAND``, and only logic demanded by
+    named nets and latch next-states is emitted at all.
     """
+    if patterns:
+        return _aig_to_netlist_patterns(lowered, source, name)
     from .netlist import Netlist
 
     aig = lowered.aig
@@ -594,6 +744,64 @@ def aig_to_netlist(lowered: NetlistAig, source, name: Optional[str] = None):
     for node in aig.cone(all_lits):
         if aig.is_and(node):
             emitter.emit_node(node)
+
+    for reg in source.registers.values():
+        for i, node in enumerate(lowered.latch_map[reg.name]):
+            next_net = emitter.emit_lit(aig.next_of(node))
+            out_net = bit_name(reg.output, i) if reg.width > 1 else reg.output
+            reg_name = bit_name(reg.name, i) if reg.width > 1 else reg.name
+            out.add_register(
+                reg_name, next_net, out_net, init=(reg.init >> i) & 1, width=1
+            )
+
+    bit_map = {
+        net: [emitter.emit_lit(l) for l in lits]
+        for net, lits in lowered.lit_map.items()
+    }
+
+    for po in source.outputs:
+        width = source.width(po)
+        for i, src in enumerate(bit_map[po]):
+            target = bit_name(po, i) if width > 1 else po
+            if src != target and target not in out.nets:
+                out.add_net(target, 1)
+                cell = out.fresh_instance_name(f"buf_{target}")
+                out.add_cell(cell, "BUF", [src], target)
+            out.mark_output(target)
+
+    out.validate()
+    return out, bit_map
+
+
+def _aig_to_netlist_patterns(lowered: NetlistAig, source,
+                             name: Optional[str] = None):
+    """The ``patterns=True`` body of :func:`aig_to_netlist`."""
+    from .netlist import Netlist
+
+    aig = lowered.aig
+    out = Netlist(name or aig.name)
+    emitter = _PatternEmitter(out, aig)
+
+    for inp in source.inputs:
+        width = source.width(inp)
+        for i, literal in enumerate(lowered.lit_map[inp]):
+            bn = bit_name(inp, i) if width > 1 else inp
+            out.add_input(bn, 1)
+            emitter.net[(lit_node(literal), 0)] = bn
+    for reg in source.registers.values():
+        for i, node in enumerate(lowered.latch_map[reg.name]):
+            bn = bit_name(reg.output, i) if reg.width > 1 else reg.output
+            out.add_net(bn, 1)
+            emitter.net[(node, 0)] = bn
+
+    demanded = [l for lits in lowered.lit_map.values() for l in lits]
+    demanded += [
+        aig.next_of(node)
+        for reg in source.registers.values()
+        for node in lowered.latch_map[reg.name]
+    ]
+    emitter.require(demanded)
+    emitter.emit()
 
     for reg in source.registers.values():
         for i, node in enumerate(lowered.latch_map[reg.name]):

@@ -26,7 +26,7 @@ stay in lock-step.  The result is suitable for building BDDs
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from .aig import AigError, aig_to_netlist, bit_name, netlist_to_aig
 from .netlist import Netlist
@@ -48,21 +48,44 @@ class BitblastResult:
     netlist: Netlist
     #: word-level net name -> list of bit-level net names (LSB first)
     bit_map: Dict[str, List[str]] = field(default_factory=dict)
+    #: rewriting counters when the DAG-aware optimiser ran (``opt=True``)
+    stats: Dict[str, int] = field(default_factory=dict)
 
     def bits_of(self, net: str) -> List[str]:
         return self.bit_map[net]
 
 
-def bitblast(netlist: Netlist, name_suffix: str = "_bits") -> BitblastResult:
-    """Lower an RT-level netlist to a pure gate-level netlist."""
+def bitblast(netlist: Netlist, name_suffix: str = "_bits",
+             opt: bool = True,
+             stats: Optional[Dict[str, int]] = None) -> BitblastResult:
+    """Lower an RT-level netlist to a pure gate-level netlist.
+
+    With ``opt=True`` (the default) the lowered AIG is first rewritten and
+    balanced by :func:`~repro.circuits.aig_rewrite.optimize_netlist_aig`
+    and the emission pattern-matches canonical XOR/MUX structures back
+    into single cells; ``opt=False`` reproduces the raw strash emission
+    (AND/NOT/CONST/BUF only).  ``stats`` (optional) accumulates the
+    rewriting counters, which are also exposed on the result.
+    """
     try:
         lowered = netlist_to_aig(netlist)
+        counters: Dict[str, int] = {}
+        if opt:
+            from .aig_rewrite import optimize_netlist_aig
+
+            lowered = optimize_netlist_aig(lowered, stats=counters)
         gate, bit_map = aig_to_netlist(
-            lowered, netlist, name=netlist.name + name_suffix
+            lowered, netlist, name=netlist.name + name_suffix, patterns=opt
         )
     except AigError as exc:
         raise BitblastError(str(exc)) from exc
-    return BitblastResult(netlist=gate, bit_map=bit_map)
+    if stats is not None:
+        for key, value in counters.items():
+            if key == "aig_levels":
+                stats[key] = max(stats.get(key, 0), value)
+            else:
+                stats[key] = stats.get(key, 0) + value
+    return BitblastResult(netlist=gate, bit_map=bit_map, stats=counters)
 
 
 def pack_output_bits(result: BitblastResult, word_netlist: Netlist,

@@ -35,6 +35,7 @@ from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
 from .. import __version__
+from ..circuits.aig_rewrite import LIBRARY_VERSION
 from .runner import CellSpec, Measurement
 
 #: bump when Measurement semantics / stats meanings change incompatibly
@@ -85,8 +86,14 @@ def cell_key(
     time_budget: float,
     node_budget: int,
     salt: str = CODE_SALT,
+    aig_opt: bool = True,
 ) -> str:
-    """The canonical content-addressed digest of one table cell."""
+    """The canonical content-addressed digest of one table cell.
+
+    ``aig_opt`` and the rewrite-library version are part of the digest: a
+    cell measured with DAG-aware rewriting off (or against a different NPN
+    structure library) must never be served for a rewriting-on request.
+    """
     provenance = getattr(workload, "provenance", None) or {}
     payload = {
         "scenario": provenance.get("scenario", "adhoc"),
@@ -98,6 +105,8 @@ def cell_key(
         "method": method,
         "time_budget": float(time_budget),
         "node_budget": int(node_budget),
+        "aig_opt": bool(aig_opt),
+        "rewrite_lib": LIBRARY_VERSION,
         "salt": salt,
     }
     return hashlib.sha256(_canonical(payload).encode()).hexdigest()
@@ -105,7 +114,8 @@ def cell_key(
 
 def spec_key(spec: CellSpec, salt: str = CODE_SALT) -> str:
     return cell_key(spec.workload, spec.method, spec.time_budget,
-                    spec.node_budget, salt=salt)
+                    spec.node_budget, salt=salt,
+                    aig_opt=getattr(spec, "aig_opt", True))
 
 
 def measurement_to_dict(measurement: Measurement) -> Dict[str, Any]:

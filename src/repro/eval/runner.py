@@ -76,6 +76,8 @@ class CellSpec:
     method: str
     time_budget: float = DEFAULT_TIME_BUDGET
     node_budget: int = DEFAULT_NODE_BUDGET
+    #: DAG-aware AIG rewriting during bit-blasting (part of the cache key)
+    aig_opt: bool = True
 
 
 def run_cell(
@@ -83,6 +85,7 @@ def run_cell(
     method: str,
     time_budget: float = DEFAULT_TIME_BUDGET,
     node_budget: int = DEFAULT_NODE_BUDGET,
+    aig_opt: bool = True,
 ) -> Measurement:
     """Measure one registered method on one workload, in-process.
 
@@ -100,6 +103,7 @@ def run_cell(
             cut=workload.cut,
             time_budget=time_budget,
             node_budget=node_budget,
+            aig_opt=aig_opt,
         )
     except Exception as exc:
         return Measurement(
@@ -236,7 +240,8 @@ def run_cells(
         for index in pending:
             spec = specs[index]
             _complete(index, run_cell(spec.workload, spec.method,
-                                      spec.time_budget, spec.node_budget))
+                                      spec.time_budget, spec.node_budget,
+                                      spec.aig_opt))
         return results  # type: ignore[return-value]
 
     from .service import WorkerPool  # deferred: service builds on this module
@@ -270,10 +275,12 @@ def run_row(
     on_result: Optional[Callable[[int, Measurement], None]] = None,
     cache=None,
     client=None,
+    aig_opt: bool = True,
 ) -> Row:
     """Measure every requested method on one workload."""
     isolate = (jobs > 1) if isolate is None else isolate
-    specs = [CellSpec(workload, m, time_budget, node_budget) for m in methods]
+    specs = [CellSpec(workload, m, time_budget, node_budget, aig_opt)
+             for m in methods]
     measurements = run_cells(specs, jobs=jobs, isolate=isolate,
                              on_result=on_result, cache=cache, client=client)
     return Row(workload=workload, cells={m.method: m for m in measurements})
@@ -289,11 +296,12 @@ def run_rows(
     on_result: Optional[Callable[[int, Measurement], None]] = None,
     cache=None,
     client=None,
+    aig_opt: bool = True,
 ) -> List[Row]:
     """Measure a whole table, parallelising across *all* cells of all rows."""
     isolate = (jobs > 1) if isolate is None else isolate
     specs = [
-        CellSpec(workload, method, time_budget, node_budget)
+        CellSpec(workload, method, time_budget, node_budget, aig_opt)
         for workload in workloads
         for method in methods
     ]

@@ -75,7 +75,8 @@ def _pool_worker(conn) -> None:
             break
         try:
             measurement = run_cell(
-                spec.workload, spec.method, spec.time_budget, spec.node_budget
+                spec.workload, spec.method, spec.time_budget, spec.node_budget,
+                getattr(spec, "aig_opt", True),
             )
         except BaseException as exc:  # the parent must always receive *something*
             measurement = Measurement(

@@ -36,6 +36,7 @@ def run_table1(
     on_result=None,
     cache=None,
     client=None,
+    aig_opt: bool = True,
 ) -> List[Row]:
     """Measure Table I.
 
@@ -59,7 +60,8 @@ def run_table1(
         to_run = [m for m in methods if m not in skipped]
         row = run_row(workload, to_run, time_budget=time_budget,
                       node_budget=node_budget, jobs=jobs, isolate=isolate,
-                      on_result=on_result, cache=cache, client=client)
+                      on_result=on_result, cache=cache, client=client,
+                      aig_opt=aig_opt)
         for offset, method in enumerate(skipped):
             measurement = Measurement(
                 workload=workload.name, method=method, status="timeout",

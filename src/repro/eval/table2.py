@@ -40,6 +40,7 @@ def run_table2(
     on_result=None,
     cache=None,
     client=None,
+    aig_opt: bool = True,
 ) -> List[Row]:
     """Measure Table II (optionally on a scaled-down suite).
 
@@ -51,7 +52,8 @@ def run_table2(
     workloads = table2_workloads(scale=scale, names=names)
     return run_rows(workloads, methods, time_budget=time_budget,
                     node_budget=node_budget, jobs=jobs, isolate=isolate,
-                    on_result=on_result, cache=cache, client=client)
+                    on_result=on_result, cache=cache, client=client,
+                    aig_opt=aig_opt)
 
 
 def render(rows: Sequence[Row], methods: Optional[Sequence[str]] = None) -> str:

@@ -142,11 +142,17 @@ def is_gate_level_netlist(netlist: Netlist) -> bool:
     )
 
 
-def ensure_gate_level(netlist: Netlist) -> Netlist:
-    """Bit-blast a netlist unless it already is a pure gate-level circuit."""
+def ensure_gate_level(netlist: Netlist, opt: bool = True,
+                      stats: Optional[Dict[str, int]] = None) -> Netlist:
+    """Bit-blast a netlist unless it already is a pure gate-level circuit.
+
+    ``opt`` enables the DAG-aware AIG rewriting pass of the bit-blaster
+    (already-gate-level inputs are returned untouched either way); when
+    ``stats`` is given, the rewriting counters accumulate into it.
+    """
     if is_gate_level_netlist(netlist):
         return netlist
-    return bitblast(netlist).netlist
+    return bitblast(netlist, opt=opt, stats=stats).netlist
 
 
 _ensure_gate_level = ensure_gate_level
@@ -157,6 +163,8 @@ def compile_fsm(
     manager: Optional[BddManager] = None,
     prefix: str = "",
     declare_vars: bool = True,
+    aig_opt: bool = True,
+    opt_stats: Optional[Dict[str, int]] = None,
 ) -> SymbolicFSM:
     """Compile a netlist (bit-blasting it first if needed) into a SymbolicFSM.
 
@@ -164,7 +172,7 @@ def compile_fsm(
     coexist in one manager.  Primary-input variables are *not* prefixed:
     a product machine must drive both circuits with the same inputs.
     """
-    gate = _ensure_gate_level(netlist)
+    gate = _ensure_gate_level(netlist, opt=aig_opt, stats=opt_stats)
     manager = manager or BddManager()
 
     input_names = list(gate.inputs)
@@ -269,6 +277,8 @@ def product_fsm(
     b: Netlist,
     manager: Optional[BddManager] = None,
     node_budget: Optional[int] = None,
+    aig_opt: bool = True,
+    opt_stats: Optional[Dict[str, int]] = None,
 ) -> ProductFSM:
     """Compile two circuits with the same primary inputs into a product FSM.
 
@@ -277,8 +287,8 @@ def product_fsm(
     equivalence checking).  State variables of the two machines are
     interleaved in the BDD order.
     """
-    gate_a = _ensure_gate_level(a)
-    gate_b = _ensure_gate_level(b)
+    gate_a = _ensure_gate_level(a, opt=aig_opt, stats=opt_stats)
+    gate_b = _ensure_gate_level(b, opt=aig_opt, stats=opt_stats)
     if sorted(gate_a.inputs) != sorted(gate_b.inputs):
         raise VerificationError(
             f"input mismatch: {sorted(gate_a.inputs)} vs {sorted(gate_b.inputs)}"

@@ -114,12 +114,15 @@ def check_equivalence_fraig(
     time_budget: Optional[float] = None,
     seed: int = 0,
     patterns: int = 64,
+    aig_opt: bool = True,
 ) -> VerificationResult:
     """FRAIG combinational equivalence with registers as cut points.
 
     ``patterns`` sets the width of the initial random simulation words;
     every refuting SAT model is appended as an extra pattern before classes
     are rebuilt.  Verdicts match the BDD ``taut`` backend on every cell.
+    ``aig_opt`` toggles DAG-aware rewriting during bit-blasting (counters
+    join ``stats``).
     """
     start = time.perf_counter()
     budget = Budget(seconds=time_budget)
@@ -127,15 +130,17 @@ def check_equivalence_fraig(
     sat_calls = 0
     merges = 0
     aig = None
+    opt_stats: Dict[str, int] = {}
     try:
-        gate_a = ensure_gate_level(a)
-        gate_b = ensure_gate_level(b)
+        gate_a = ensure_gate_level(a, opt=aig_opt, stats=opt_stats)
+        gate_b = ensure_gate_level(b, opt=aig_opt, stats=opt_stats)
         aig, _va, _vb, mismatches, compared = miter_setup(gate_a, gate_b)
         budget.check()
 
         def finish(status: str, detail: str,
                    counterexample: Optional[Dict[str, bool]] = None):
             stats = dict(totals)
+            stats.update(opt_stats)
             stats.update({
                 "aig_nodes": float(aig.num_ands),
                 "sat_calls": float(sat_calls),
@@ -309,6 +314,7 @@ def check_equivalence_fraig(
         # dash cells carry the structured cost record too (PR-4 convention)
         stats = {
             **totals,
+            **opt_stats,
             "sat_calls": float(sat_calls),
             "merges": float(merges),
         }

@@ -26,7 +26,7 @@ of the paper's tables).
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import Dict, Optional
 
 from ..circuits.netlist import Netlist
 from .bdd import FALSE, BddBudgetExceeded, BddManager
@@ -45,14 +45,21 @@ def check_equivalence(
     retimed: Netlist,
     time_budget: Optional[float] = None,
     node_budget: Optional[int] = None,
+    aig_opt: bool = True,
 ) -> VerificationResult:
-    """Check sequential output-equivalence of two circuits (SIS ``verify_fsm`` style)."""
+    """Check sequential output-equivalence of two circuits (SIS ``verify_fsm`` style).
+
+    ``aig_opt`` toggles DAG-aware AIG rewriting when the circuits are
+    bit-blasted (rewriting counters join ``stats``).
+    """
     start = time.perf_counter()
     budget = Budget(seconds=time_budget)
     m: Optional[BddManager] = None
     iterations = 0
+    opt_stats: Dict[str, int] = {}
     try:
-        product = product_fsm(original, retimed, node_budget=node_budget)
+        product = product_fsm(original, retimed, node_budget=node_budget,
+                              aig_opt=aig_opt, opt_stats=opt_stats)
         m = product.manager
         budget.arm(m)
         good = product.outputs_equal_bdd()
@@ -83,7 +90,7 @@ def check_equivalence(
                     peak_nodes=m.num_nodes,
                     counterexample=cex,
                     detail=f"outputs differ after {iterations} traversal steps",
-                    stats=m.op_stats(),
+                    stats={**m.op_stats(), **opt_stats},
                 )
             image_primed = image(m, frontier, relation, budget=budget)
             new_states = m.rename(image_primed, unprime)
@@ -101,7 +108,7 @@ def check_equivalence(
                 peak_nodes=m.num_nodes,
                 counterexample=cex,
                 detail="outputs differ on a reachable state",
-                stats=m.op_stats(),
+                stats={**m.op_stats(), **opt_stats},
             )
         return VerificationResult(
             method="sis",
@@ -110,7 +117,7 @@ def check_equivalence(
             iterations=iterations,
             peak_nodes=m.num_nodes,
             detail=f"fixpoint after {iterations} steps, {m.num_nodes} BDD nodes",
-            stats=m.op_stats(),
+            stats={**m.op_stats(), **opt_stats},
         )
     except (TimeoutBudgetExceeded, BddBudgetExceeded) as exc:
         return VerificationResult(
@@ -120,5 +127,5 @@ def check_equivalence(
             iterations=iterations,
             peak_nodes=m.num_nodes if m is not None else 0,
             detail=str(exc),
-            stats=m.op_stats() if m is not None else {},
+            stats={**(m.op_stats() if m is not None else {}), **opt_stats},
         )

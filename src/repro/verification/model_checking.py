@@ -239,14 +239,21 @@ def check_equivalence(
     time_budget: Optional[float] = None,
     node_budget: Optional[int] = None,
     cluster_size: Optional[int] = DEFAULT_CLUSTER_SIZE,
+    aig_opt: bool = True,
 ) -> VerificationResult:
-    """Check sequential output-equivalence of two circuits (SMV style)."""
+    """Check sequential output-equivalence of two circuits (SMV style).
+
+    ``aig_opt`` toggles DAG-aware AIG rewriting when the circuits are
+    bit-blasted (rewriting counters join ``stats``).
+    """
     start = time.perf_counter()
     budget = Budget(seconds=time_budget)
     m: Optional[BddManager] = None
     progress = {"iterations": 0}
+    opt_stats: Dict[str, int] = {}
     try:
-        product = product_fsm(original, retimed, node_budget=node_budget)
+        product = product_fsm(original, retimed, node_budget=node_budget,
+                              aig_opt=aig_opt, opt_stats=opt_stats)
         m = product.manager
         budget.arm(m)
         primed = declare_next_state_vars(product)
@@ -272,7 +279,7 @@ def check_equivalence(
                 peak_nodes=m.num_nodes,
                 counterexample=cex,
                 detail=f"bad state reached after {iterations} traversal steps",
-                stats=m.op_stats(),
+                stats={**m.op_stats(), **opt_stats},
             )
         return VerificationResult(
             method="smv",
@@ -282,7 +289,7 @@ def check_equivalence(
             peak_nodes=m.num_nodes,
             detail=f"fixpoint after {iterations} traversal steps, "
                    f"{m.num_nodes} BDD nodes",
-            stats=m.op_stats(),
+            stats={**m.op_stats(), **opt_stats},
         )
     except (TimeoutBudgetExceeded, BddBudgetExceeded) as exc:
         return VerificationResult(
@@ -292,7 +299,7 @@ def check_equivalence(
             iterations=progress["iterations"],
             peak_nodes=m.num_nodes if m is not None else 0,
             detail=str(exc),
-            stats=m.op_stats() if m is not None else {},
+            stats={**(m.op_stats() if m is not None else {}), **opt_stats},
         )
 
 

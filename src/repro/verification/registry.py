@@ -188,24 +188,26 @@ register_checker(
     description="SMV-style symbolic model checking (clustered transition "
                 "relation, early-quantification image, breadth-first "
                 "product traversal)",
-    accepts=("time_budget", "node_budget"),
+    accepts=("time_budget", "node_budget", "aig_opt"),
 )
 register_checker(
     "sis", fsm_compare.check_equivalence,
     description="SIS-style FSM comparison (per-register relation conjuncts, "
                 "on-the-fly invariant check every traversal step)",
-    accepts=("time_budget", "node_budget"),
+    accepts=("time_budget", "node_budget", "aig_opt"),
 )
 register_checker(
     "eijk", van_eijk.check_equivalence,
     description="van Eijk signal-correspondence induction (word-parallel "
                 "simulation signatures)",
-    accepts=("time_budget", "node_budget", "simulation_cycles", "seed"),
+    accepts=("time_budget", "node_budget", "simulation_cycles", "seed",
+             "aig_opt"),
 )
 register_checker(
     "eijk+", _eijk_plus,
     description="van Eijk with functional-dependency exploitation",
-    accepts=("time_budget", "node_budget", "simulation_cycles", "seed"),
+    accepts=("time_budget", "node_budget", "simulation_cycles", "seed",
+             "aig_opt"),
 )
 register_checker(
     "match", retiming_verify.check_equivalence,
@@ -217,21 +219,21 @@ register_checker(
     "taut", tautology.combinational_equivalent,
     description="BDD combinational equivalence with registers as cut points "
                 "(same-state-representation restriction)",
-    accepts=("time_budget", "node_budget"),
+    accepts=("time_budget", "node_budget", "aig_opt"),
 )
 register_checker(
     "sat", sat.check_equivalence_sat,
     description="AIG/SAT combinational equivalence: shared structurally-"
                 "hashed AIG, Tseitin CNF, CDCL-lite solver (watched "
                 "literals, 1UIP learning); registers as cut points",
-    accepts=("time_budget",),
+    accepts=("time_budget", "aig_opt"),
 )
 register_checker(
     "fraig", fraig.check_equivalence_fraig,
     description="FRAIG sweep: simulation-guided candidate classes on the "
                 "shared AIG, refined by per-pair SAT miter calls; "
                 "registers as cut points",
-    accepts=("time_budget", "seed", "patterns"),
+    accepts=("time_budget", "seed", "patterns", "aig_opt"),
 )
 register_checker(
     "taut-rw", tautology.combinational_equivalent_by_rewriting,

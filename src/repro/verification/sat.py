@@ -397,13 +397,16 @@ def check_equivalence_sat(
     a: Netlist,
     b: Netlist,
     time_budget: Optional[float] = None,
+    aig_opt: bool = True,
 ) -> VerificationResult:
     """Combinational equivalence by one CNF miter over the shared AIG.
 
     The same cut-point discipline as the BDD ``taut`` backend (registers
     are free variables keyed by register name), decided by Tseitin CNF plus
     the CDCL-lite solver instead of BDDs.  Verdicts are identical; the cost
-    profile is search counters instead of node counts.
+    profile is search counters instead of node counts.  ``aig_opt``
+    toggles DAG-aware rewriting during bit-blasting (counters join
+    ``stats``).
     """
     start = time.perf_counter()
     budget = Budget(seconds=time_budget)
@@ -411,8 +414,10 @@ def check_equivalence_sat(
     solver: Optional[SatSolver] = None
     stats: Dict[str, float] = {}
     try:
-        gate_a = ensure_gate_level(a)
-        gate_b = ensure_gate_level(b)
+        opt_stats: Dict[str, int] = {}
+        gate_a = ensure_gate_level(a, opt=aig_opt, stats=opt_stats)
+        gate_b = ensure_gate_level(b, opt=aig_opt, stats=opt_stats)
+        stats.update(opt_stats)
         aig, _vals_a, _vals_b, mismatches, compared = miter_setup(gate_a, gate_b)
         budget.check()
 
@@ -480,13 +485,14 @@ def _model_lit(model: Dict[int, bool], literal: int) -> bool:
     return value ^ lit_negated(literal)
 
 
-def is_tautology_sat(netlist: Netlist, output: Optional[str] = None) -> bool:
+def is_tautology_sat(netlist: Netlist, output: Optional[str] = None,
+                     aig_opt: bool = True) -> bool:
     """AIG/SAT path for tautology checking: is the output constantly true?
 
     Asserts the complement of the output and asks the solver for a
     falsifying vector; UNSAT means tautology.
     """
-    gate = ensure_gate_level(netlist)
+    gate = ensure_gate_level(netlist, opt=aig_opt)
     if gate.registers:
         raise ValueError("is_tautology_sat: circuit must be purely combinational")
     lowered_aig = Aig(gate.name)

@@ -54,10 +54,11 @@ from .common import (
 )
 
 
-def _gate_level(netlist: Netlist) -> Netlist:
+def _gate_level(netlist: Netlist, opt: bool = True,
+                stats: Optional[Dict[str, int]] = None) -> Netlist:
     from .common import ensure_gate_level
 
-    return ensure_gate_level(netlist)
+    return ensure_gate_level(netlist, opt=opt, stats=stats)
 
 
 def is_tautology(netlist: Netlist, output: Optional[str] = None) -> bool:
@@ -75,6 +76,7 @@ def combinational_equivalent(
     b: Netlist,
     time_budget: Optional[float] = None,
     node_budget: Optional[int] = None,
+    aig_opt: bool = True,
 ) -> VerificationResult:
     """Combinational equivalence with registers treated as cut points.
 
@@ -83,13 +85,15 @@ def combinational_equivalent(
     complete for circuits with the same state representation — exactly the
     restriction the paper states for tautology checking).  Primary outputs
     and next-state functions of same-named registers are compared.
+    ``aig_opt`` toggles DAG-aware rewriting during bit-blasting.
     """
     start = time.perf_counter()
     budget = Budget(seconds=time_budget)
     manager: Optional[BddManager] = None
+    opt_stats: Dict[str, int] = {}
     try:
-        gate_a = _gate_level(a)
-        gate_b = _gate_level(b)
+        gate_a = _gate_level(a, opt=aig_opt, stats=opt_stats)
+        gate_b = _gate_level(b, opt=aig_opt, stats=opt_stats)
         manager = BddManager(node_budget=node_budget)
         budget.arm(manager)
 
@@ -144,7 +148,7 @@ def combinational_equivalent(
                 seconds=seconds,
                 peak_nodes=manager.num_nodes,
                 detail="; ".join(mismatches),
-                stats=manager.op_stats(),
+                stats={**manager.op_stats(), **opt_stats},
             )
         return VerificationResult(
             method="tautology",
@@ -153,7 +157,7 @@ def combinational_equivalent(
             peak_nodes=manager.num_nodes,
             detail="all outputs and next-state functions agree "
                    f"({manager.num_nodes} BDD nodes)",
-            stats=manager.op_stats(),
+            stats={**manager.op_stats(), **opt_stats},
         )
     except (TimeoutBudgetExceeded, BddBudgetExceeded) as exc:
         return VerificationResult(
@@ -162,7 +166,8 @@ def combinational_equivalent(
             seconds=time.perf_counter() - start,
             peak_nodes=manager.num_nodes if manager is not None else 0,
             detail=str(exc),
-            stats=manager.op_stats() if manager is not None else {},
+            stats={**(manager.op_stats() if manager is not None else {}),
+                   **opt_stats},
         )
 
 

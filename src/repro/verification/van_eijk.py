@@ -79,10 +79,11 @@ def _simulation_signatures(
     return out
 
 
-def _gate_level(netlist: Netlist) -> Netlist:
+def _gate_level(netlist: Netlist, opt: bool = True,
+                stats: Optional[Dict[str, int]] = None) -> Netlist:
     from .common import ensure_gate_level
 
-    return ensure_gate_level(netlist)
+    return ensure_gate_level(netlist, opt=opt, stats=stats)
 
 
 def check_equivalence(
@@ -93,20 +94,23 @@ def check_equivalence(
     node_budget: Optional[int] = None,
     simulation_cycles: int = 48,
     seed: int = 0,
+    aig_opt: bool = True,
 ) -> VerificationResult:
     """Van Eijk signal-correspondence equivalence check.
 
     ``exploit_dependencies=False`` reproduces the "Eijk" column,
-    ``exploit_dependencies=True`` the "Eijk+" column.
+    ``exploit_dependencies=True`` the "Eijk+" column.  ``aig_opt`` toggles
+    DAG-aware rewriting during bit-blasting (counters join ``stats``).
     """
     method = "eijk+" if exploit_dependencies else "eijk"
     start = time.perf_counter()
     budget = Budget(seconds=time_budget)
     m: Optional[BddManager] = None
     iterations = 0
+    opt_stats: Dict[str, int] = {}
     try:
-        gate_a = _gate_level(original)
-        gate_b = _gate_level(retimed)
+        gate_a = _gate_level(original, opt=aig_opt, stats=opt_stats)
+        gate_b = _gate_level(retimed, opt=aig_opt, stats=opt_stats)
 
         product = product_fsm(gate_a, gate_b, node_budget=node_budget)
         m = product.manager
@@ -271,7 +275,7 @@ def check_equivalence(
         )
         if exploit_dependencies:
             detail += f", {merged_vars} dependent registers eliminated"
-        stats = m.op_stats()
+        stats = {**m.op_stats(), **opt_stats}
         stats.update({
             "corresponding_signals": float(sum(len(g) for g in classes)),
             "classes": float(len(classes)),
@@ -299,5 +303,5 @@ def check_equivalence(
             iterations=iterations,
             peak_nodes=m.num_nodes if m is not None else 0,
             detail=str(exc),
-            stats=m.op_stats() if m is not None else {},
+            stats={**(m.op_stats() if m is not None else {}), **opt_stats},
         )

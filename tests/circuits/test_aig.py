@@ -113,11 +113,26 @@ class TestStructuralHashing:
         nl.add_cell("x2", "XOR", ["a", "b"], "v")
         nl.add_output("u")
         nl.add_output("v")
-        gate = bitblast(nl).netlist
+        gate = bitblast(nl, opt=False).netlist
         # one shared xor structure (3 ANDs + inverters) plus output buffers,
         # never two copies
         ands = [c for c in gate.cells.values() if c.type == "AND"]
         assert len(ands) == 3
+
+    def test_shared_subterms_collapse_to_one_xor_cell(self):
+        nl = Netlist("emit_once_opt")
+        nl.add_input("a")
+        nl.add_input("b")
+        nl.add_cell("x1", "XOR", ["a", "b"], "u")
+        nl.add_cell("x2", "XOR", ["a", "b"], "v")
+        nl.add_output("u")
+        nl.add_output("v")
+        gate = bitblast(nl).netlist
+        # pattern-matched emission recognises the canonical 3-AND xor
+        # structure and emits one shared XOR cell plus output buffers
+        xors = [c for c in gate.cells.values() if c.type in ("XOR", "XNOR")]
+        assert len(xors) == 1
+        assert not any(c.type == "AND" for c in gate.cells.values())
 
 
 class TestDifferentialEvaluation:
@@ -187,10 +202,21 @@ class TestDifferentialEvaluation:
 
 class TestEmission:
     def test_round_trip_is_pure_gate_level(self):
-        gate = bitblast(fractional_multiplier(3)).netlist
+        gate = bitblast(fractional_multiplier(3), opt=False).netlist
         assert all(net.width == 1 for net in gate.nets.values())
         assert all(
             cell.type in ("AND", "NOT", "BUF", "CONST")
+            for cell in gate.cells.values()
+        )
+
+    def test_optimised_round_trip_is_gate_level(self):
+        # with rewriting + pattern emission the cell alphabet widens to the
+        # matched gates, but stays strictly single-bit gate level
+        gate = bitblast(fractional_multiplier(3)).netlist
+        assert all(net.width == 1 for net in gate.nets.values())
+        assert all(
+            cell.type in ("AND", "NAND", "NOT", "BUF", "CONST",
+                          "XOR", "XNOR", "MUX")
             for cell in gate.cells.values()
         )
 

@@ -56,7 +56,9 @@ def _golden_workload(init: int = 0, params=None) -> Workload:
 
 #: pinned digest of (_golden_workload(), "match", 10.0, 1000, salt="golden-salt");
 #: changes only when the canonicalisation itself changes — bump deliberately.
-GOLDEN_DIGEST = "67ee7d1fdc31072afb4e1531f675149cbd3cfcefb9af8d4fa5e15554ba4c641b"
+#: (PR 7 bump: the payload gained the ``aig_opt`` toggle and the NPN
+#: rewrite-library version.)
+GOLDEN_DIGEST = "d1d396d1768127c30cad587303ecd7a3d445eeafa300288a6f47af82e0d39fe9"
 
 
 class TestCellKeyDeterminism:
@@ -94,6 +96,32 @@ class TestCellKeyDeterminism:
         assert cell_key(w, "match", 20.0, 1000) != base
         assert cell_key(w, "match", 10.0, 2000) != base
         assert cell_key(w, "match", 10.0, 1000, salt="other") != base
+
+    def test_sensitive_to_aig_opt_toggle(self):
+        """A rewriting-off measurement must never serve a rewriting-on
+        request (and vice versa): the toggle is part of the digest."""
+        w = _golden_workload()
+        on = cell_key(w, "match", 10.0, 1000, aig_opt=True)
+        off = cell_key(w, "match", 10.0, 1000, aig_opt=False)
+        assert on != off
+        assert on == cell_key(w, "match", 10.0, 1000)  # default is on
+
+    def test_spec_key_carries_the_aig_opt_toggle(self):
+        from repro.eval.cache import spec_key
+
+        w = _golden_workload()
+        on = spec_key(CellSpec(w, "match", 10.0, 1000, aig_opt=True))
+        off = spec_key(CellSpec(w, "match", 10.0, 1000, aig_opt=False))
+        assert on != off
+
+    def test_sensitive_to_rewrite_library_version(self, monkeypatch):
+        """Regenerating the NPN structure library invalidates old entries."""
+        from repro.eval import cache as cache_mod
+
+        w = _golden_workload()
+        base = cell_key(w, "match", 10.0, 1000)
+        monkeypatch.setattr(cache_mod, "LIBRARY_VERSION", "npn4-v0-test")
+        assert cell_key(w, "match", 10.0, 1000) != base
 
     def test_sensitive_to_circuit_content(self):
         base = cell_key(_golden_workload(init=0), "match", 10.0, 1000)

@@ -85,6 +85,31 @@ class TestRun:
         assert "s344" in out
 
 
+class TestAigStats:
+    def test_aig_stats_smoke(self, capsys):
+        code = main(["aig-stats", "--scenario", "figure2",
+                     "--param", "widths=2,4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "AIG rewriting statistics" in out
+        assert "figure2 n=2" in out and "figure2 n=4" in out
+        for column in ("pre", "post", "levels", "cuts", "rewrites",
+                       "cells", "cells_opt"):
+            assert column in out
+
+    def test_aig_stats_unknown_scenario_exits_2(self, capsys):
+        assert main(["aig-stats", "--scenario", "nope"]) == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_run_accepts_the_rewrite_toggle(self, capsys):
+        code = main(["run", "--scenario", "figure2", "--param", "widths=2",
+                     "--methods", "hash", "--budget", "20", "--no-isolate",
+                     "--no-cache", "--no-aig-opt"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "figure2 n=2" in out
+
+
 class TestErrors:
     def test_unknown_method_exits_2(self, capsys):
         code = main(["run", "--scenario", "figure2", "--methods", "nope"])
