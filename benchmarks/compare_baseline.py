@@ -9,7 +9,8 @@ the deterministic cost counters each benchmark stores in ``extra_info`` —
 ``kernel_steps`` (kernel inferences), ``peak_nodes`` and ``ite_calls``
 (BDD engine work), ``aig_nodes`` (shared-IR size), ``aig_nodes_post`` and
 ``rewrites_applied`` (DAG-aware rewriting effectiveness), ``gate_cells``
-(pattern-matched emission size), ``decisions`` (SAT search effort) and
+(pattern-matched emission size), ``decisions`` / ``solver_calls`` /
+``restarts`` (SAT search effort and incremental-solver reuse) and
 ``cache_hits`` / ``cache_misses`` (result-cache effectiveness).  All are
 machine-independent, unlike wall-clock times,
 so the comparison is stable across CI runners.  The script exits non-zero
@@ -40,7 +41,8 @@ from typing import Dict
 #: the deterministic counters guarded against regressions
 TRACKED_COUNTERS = ("kernel_steps", "peak_nodes", "ite_calls",
                     "aig_nodes", "aig_nodes_post", "rewrites_applied",
-                    "gate_cells", "decisions", "cache_hits", "cache_misses")
+                    "gate_cells", "decisions", "solver_calls", "restarts",
+                    "cache_hits", "cache_misses")
 
 
 def load_counters(path: str) -> Dict[str, Dict[str, int]]:

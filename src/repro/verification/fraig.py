@@ -11,12 +11,15 @@ Mishchenko et al.) decides the same cut-point equivalence question as the
    function and its complement land in one class with explicit phase bits
    (inverted edges make complement candidates first-class instead of
    conflating them);
-3. each candidate pair is decided by a small SAT miter call
-   (:mod:`repro.verification.sat`); a refuting model becomes a new
-   simulation pattern that immediately splits every class it distinguishes,
-   so one counterexample prunes many candidates, and every *proved* pair is
-   fed into the later miters as biconditional lemma clauses, so each SAT
-   query stays local to one cone instead of re-deriving the whole fan-in;
+3. each candidate pair is decided through one **persistent incremental
+   solver** (:class:`repro.verification.sat.IncrementalMiter`): miters are
+   posted under activation literals over lazily encoded cones, so each
+   query is cone-priced and every learned clause survives the whole sweep;
+   a refuting model becomes a new simulation pattern that *splits the
+   candidate classes in place* (no rebuild from scratch), so one
+   counterexample prunes many candidates, and every *proved* pair stays in
+   the solver as a permanent biconditional, so later miters cut across
+   shared substructure instead of re-deriving the whole fan-in;
 4. the compared outputs / next-state functions are equivalent iff the sweep
    proves their literals equal (up to phase), with any residual pair decided
    by a direct miter call that also yields the counterexample vector.
@@ -39,31 +42,7 @@ from .common import (
     VerificationResult,
     ensure_gate_level,
 )
-from .sat import SatSolver, counterexample_from_model, miter_setup, tseitin_solver
-
-
-def _lemma_solver(
-    aig, roots: List[int], proved_pairs: List[Tuple[int, int, int]],
-) -> SatSolver:
-    """A Tseitin solver for ``roots`` plus proved-equivalence lemmas.
-
-    Every previously proved pair whose two nodes both lie inside the cone
-    is added as two/four biconditional clauses — sound (each was proved by
-    an earlier UNSAT call) and the reason FRAIG sweeping scales: the solver
-    can cut across shared substructure instead of re-deriving it.
-    """
-    solver = tseitin_solver(aig, roots)
-    cone = set(aig.cone(roots))
-    for n1, n2, parity in proved_pairs:
-        if n1 in cone and n2 in cone:
-            v1, v2 = n1 + 1, n2 + 1
-            if parity:
-                solver.add_clause([-v1, -v2])
-                solver.add_clause([v1, v2])
-            else:
-                solver.add_clause([-v1, v2])
-                solver.add_clause([v1, -v2])
-    return solver
+from .sat import IncrementalMiter, miter_setup
 
 
 class _ParityUnionFind:
@@ -108,6 +87,70 @@ class _ParityUnionFind:
         return pa ^ pb
 
 
+class _ClassPartition:
+    """Indexed partition of (node, phase) members, split in place.
+
+    Candidate classes are stored as an indexed list; each new 1-bit
+    simulation pattern :meth:`split`\\ s every class against the new bit —
+    stayers keep their class index, movers are appended as a fresh class —
+    instead of rebuilding the whole partition from the packed signatures.
+    Relative phases are preserved unchanged: a pattern refines *which nodes
+    agree*, never the phase relation inside a surviving class.
+    """
+
+    def __init__(self, classes: List[List[Tuple[int, int]]]):
+        self.classes = classes
+        #: classes that gained a new sibling class across all splits
+        self.classes_split = 0
+
+    @classmethod
+    def from_signatures(
+        cls, cone_nodes: List[int], sig: Dict[int, int], nbits: int,
+    ) -> "_ClassPartition":
+        """Initial phase-canonical partition (classes of >= 2 members)."""
+        mask = (1 << nbits) - 1
+        buckets: Dict[int, List[Tuple[int, int]]] = {}
+        for n in cone_nodes:
+            word = sig[n]
+            phase = word & 1
+            canonical = word ^ mask if phase else word
+            buckets.setdefault(canonical, []).append((n, phase))
+        classes = sorted(
+            (grp for grp in buckets.values() if len(grp) >= 2),
+            key=lambda g: g[0][0],
+        )
+        return cls(classes)
+
+    def split(self, vals: List[int]) -> None:
+        """Refine every class in place against a new 1-bit pattern.
+
+        ``vals`` holds the pattern's value per AIG node (bit 0).  Classes
+        appended *by* this split are uniform in the new bit by
+        construction, so the loop snapshot over the pre-split length is
+        exhaustive.
+        """
+        classes = self.classes
+        for idx in range(len(classes)):
+            members = classes[idx]
+            if len(members) < 2:
+                continue
+            n0, p0 = members[0]
+            bit0 = (vals[n0] & 1) ^ p0
+            keep: List[Tuple[int, int]] = []
+            moved: List[Tuple[int, int]] = []
+            for member in members:
+                n, p = member
+                if (vals[n] & 1) ^ p == bit0:
+                    keep.append(member)
+                else:
+                    moved.append(member)
+            if not moved:
+                continue
+            classes[idx] = keep
+            classes.append(moved)
+            self.classes_split += 1
+
+
 def check_equivalence_fraig(
     a: Netlist,
     b: Netlist,
@@ -119,18 +162,32 @@ def check_equivalence_fraig(
     """FRAIG combinational equivalence with registers as cut points.
 
     ``patterns`` sets the width of the initial random simulation words;
-    every refuting SAT model is appended as an extra pattern before classes
-    are rebuilt.  Verdicts match the BDD ``taut`` backend on every cell.
-    ``aig_opt`` toggles DAG-aware rewriting during bit-blasting (counters
-    join ``stats``).
+    every refuting SAT model is appended as an extra pattern that splits
+    the candidate classes in place.  One persistent assumption-based
+    solver serves the entire sweep.  Verdicts match the BDD ``taut``
+    backend on every cell.  ``aig_opt`` toggles DAG-aware rewriting during
+    bit-blasting (counters join ``stats``).
     """
     start = time.perf_counter()
     budget = Budget(seconds=time_budget)
-    totals = {"decisions": 0.0, "propagations": 0.0, "conflicts": 0.0}
-    sat_calls = 0
     merges = 0
     aig = None
+    miter: Optional[IncrementalMiter] = None
+    partition: Optional[_ClassPartition] = None
     opt_stats: Dict[str, int] = {}
+
+    def solver_stats() -> Dict[str, float]:
+        if miter is None:
+            return {
+                "decisions": 0.0, "propagations": 0.0, "conflicts": 0.0,
+                "solver_calls": 0.0, "restarts": 0.0,
+                "learned_kept": 0.0, "learned_deleted": 0.0,
+                "vars_encoded": 0.0,
+            }
+        stats = miter.stats()
+        stats.pop("learned_clauses", None)
+        return stats
+
     try:
         gate_a = ensure_gate_level(a, opt=aig_opt, stats=opt_stats)
         gate_b = ensure_gate_level(b, opt=aig_opt, stats=opt_stats)
@@ -139,12 +196,15 @@ def check_equivalence_fraig(
 
         def finish(status: str, detail: str,
                    counterexample: Optional[Dict[str, bool]] = None):
-            stats = dict(totals)
+            stats = solver_stats()
             stats.update(opt_stats)
             stats.update({
                 "aig_nodes": float(aig.num_ands),
-                "sat_calls": float(sat_calls),
+                "sat_calls": stats["solver_calls"],
                 "merges": float(merges),
+                "classes_split": float(
+                    partition.classes_split if partition is not None else 0
+                ),
             })
             return VerificationResult(
                 method="fraig", status=status,
@@ -172,82 +232,67 @@ def check_equivalence_fraig(
             {n: rng.getrandbits(1) for n in free_nodes} for _ in range(patterns)
         ]
 
-        def simulate() -> Dict[int, int]:
-            mask = (1 << len(vectors)) - 1
-            words = {
-                n: sum(vec[n] << t for t, vec in enumerate(vectors))
-                for n in free_nodes
-            }
-            vals = aig.eval_words(words, mask)
-            return {n: vals[n] for n in cone_nodes}
+        mask = (1 << len(vectors)) - 1
+        words = {
+            n: sum(vec[n] << t for t, vec in enumerate(vectors))
+            for n in free_nodes
+        }
+        init_vals = aig.eval_words(words, mask)
+        sig = {n: init_vals[n] for n in cone_nodes}
 
-        def add_pattern(sig: Dict[int, int], vec: Dict[int, int]) -> None:
+        def add_pattern(vec: Dict[int, int]) -> List[int]:
             """Append one refuting pattern: a single 1-bit evaluation pass
-            ORed into the packed signatures, instead of re-simulating every
-            accumulated vector."""
+            ORed into the packed signatures; returns the per-node values so
+            the caller can split the live partition against them."""
             t = len(vectors)
             vectors.append(vec)
             vals = aig.eval_words(vec, 1)
             for n in cone_nodes:
                 sig[n] |= (vals[n] & 1) << t
+            return vals
 
-        def classes_of(sig: Dict[int, int]) -> List[List[Tuple[int, int]]]:
-            """Candidate classes as (node, phase) lists, phase-canonical."""
-            mask = (1 << len(vectors)) - 1
-            buckets: Dict[int, List[Tuple[int, int]]] = {}
-            for n in cone_nodes:
-                word = sig[n]
-                phase = word & 1
-                canonical = word ^ mask if phase else word
-                buckets.setdefault(canonical, []).append((n, phase))
-            return [grp for grp in buckets.values() if len(grp) >= 2]
-
-        # -- 2/3. refine candidate classes by SAT miter calls ----------------
+        # -- 2/3. refine candidate classes by incremental SAT ----------------
+        # One persistent solver serves every miter of the sweep: proved
+        # pairs stay asserted as biconditionals, learned clauses carry
+        # over, and each refuting model splits the partition in place — no
+        # ``refuted`` bookkeeping is needed, because the model that refutes
+        # a pair provably separates it into two different classes.
         proved = _ParityUnionFind()
-        proved_pairs: List[Tuple[int, int, int]] = []
-        refuted: set = set()
-        sig = simulate()
-        refuting = True
-        while refuting:
-            budget.check()
-            refuting = False
-            for group in sorted(classes_of(sig), key=lambda g: g[0][0]):
-                rep, rep_phase = group[0]
-                for node, phase in group[1:]:
-                    # hypothesis: node ^ phase == rep ^ rep_phase
-                    parity = rep_phase ^ phase
-                    if proved.same(rep, node) is not None:
-                        continue
-                    if (rep, node, parity) in refuted:
-                        continue
-                    la = (rep << 1) | rep_phase
-                    lb = (node << 1) | phase
-                    miter = aig.mk_xor(la, lb)
-                    if miter == 0:
-                        proved.union(rep, node, parity)
-                        merges += 1
-                        continue
-                    solver = _lemma_solver(aig, [miter], proved_pairs)
-                    sat_calls += 1
-                    is_sat = solver.solve(deadline=budget.deadline)
-                    for key, value in solver.stats().items():
-                        if key in totals:
-                            totals[key] += value
-                    if is_sat:
-                        # the refuting model becomes a fresh pattern: it
-                        # splits this pair and everything else it separates
-                        model = solver.model()
-                        add_pattern(sig, {
-                            n: int(model.get(n + 1, False)) for n in free_nodes
-                        })
-                        refuted.add((rep, node, parity))
-                        refuting = True
-                        break  # classes changed: rebuild before continuing
+        miter = IncrementalMiter(aig)
+        partition = _ClassPartition.from_signatures(
+            cone_nodes, sig, len(vectors)
+        )
+        idx = 0
+        while idx < len(partition.classes):
+            members = partition.classes[idx]
+            j = 1
+            while j < len(members):
+                budget.check()
+                rep, rep_phase = members[0]
+                node, phase = members[j]
+                # hypothesis: node ^ phase == rep ^ rep_phase
+                parity = rep_phase ^ phase
+                if proved.same(rep, node) is not None:
+                    j += 1
+                    continue
+                la = (rep << 1) | rep_phase
+                lb = (node << 1) | phase
+                model = miter.prove_equal(la, lb, deadline=budget.deadline)
+                if model is None:
                     proved.union(rep, node, parity)
-                    proved_pairs.append((rep, node, parity))
                     merges += 1
-                if refuting:
-                    break
+                    j += 1
+                    continue
+                # the refuting model becomes a fresh pattern that splits
+                # every class it distinguishes — including this pair, so
+                # the inner scan restarts on a strictly smaller class
+                vals = add_pattern({
+                    n: int(model.get(n, False)) for n in free_nodes
+                })
+                partition.split(vals)
+                members = partition.classes[idx]
+                j = 1
+            idx += 1
 
         # -- 4. the verdict ---------------------------------------------------
         failing: List[str] = []
@@ -284,25 +329,16 @@ def check_equivalence_fraig(
                 continue
             # defensive fallback: unreachable when the sweep completed, but
             # kept so the verdict never depends on the sweep's bookkeeping
-            miter = aig.mk_xor(la, lb)
-            if miter == 0:
-                continue
-            solver = _lemma_solver(aig, [miter], proved_pairs)
-            sat_calls += 1
-            is_sat = solver.solve(deadline=budget.deadline)
-            for key, value in solver.stats().items():
-                if key in totals:
-                    totals[key] += value
-            if is_sat:
+            model = miter.prove_equal(la, lb, deadline=budget.deadline)
+            if model is not None:
                 failing.append(label)
                 if counterexample is None:
-                    counterexample = counterexample_from_model(
-                        aig, solver.model()
-                    )
+                    counterexample = miter.counterexample(model)
         detail = (
             f"{len(compared)} compared functions, {merges} merges / "
-            f"{sat_calls} SAT calls over {len(vectors)} patterns, "
-            f"{aig.num_ands} AIG nodes"
+            f"{miter.solver_calls} incremental SAT calls / "
+            f"{partition.classes_split} class splits over "
+            f"{len(vectors)} patterns, {aig.num_ands} AIG nodes"
         )
         if failing:
             return finish(
@@ -312,12 +348,13 @@ def check_equivalence_fraig(
         return finish("equivalent", detail)
     except TimeoutBudgetExceeded as exc:
         # dash cells carry the structured cost record too (PR-4 convention)
-        stats = {
-            **totals,
-            **opt_stats,
-            "sat_calls": float(sat_calls),
-            "merges": float(merges),
-        }
+        stats = solver_stats()
+        stats.update(opt_stats)
+        stats["sat_calls"] = stats["solver_calls"]
+        stats["merges"] = float(merges)
+        stats["classes_split"] = float(
+            partition.classes_split if partition is not None else 0
+        )
         if aig is not None:
             stats["aig_nodes"] = float(aig.num_ands)
         return VerificationResult(

@@ -224,14 +224,17 @@ register_checker(
 register_checker(
     "sat", sat.check_equivalence_sat,
     description="AIG/SAT combinational equivalence: shared structurally-"
-                "hashed AIG, Tseitin CNF, CDCL-lite solver (watched "
-                "literals, 1UIP learning); registers as cut points",
+                "hashed AIG, one persistent incremental CDCL solver "
+                "(assumption-based activation-literal miters, lazy "
+                "cone-local Tseitin, Luby restarts, LBD clause GC); "
+                "registers as cut points",
     accepts=("time_budget", "aig_opt"),
 )
 register_checker(
     "fraig", fraig.check_equivalence_fraig,
-    description="FRAIG sweep: simulation-guided candidate classes on the "
-                "shared AIG, refined by per-pair SAT miter calls; "
+    description="FRAIG sweep: simulation-guided candidate classes split "
+                "in place on the shared AIG, refined by cone-priced "
+                "miters over one persistent incremental SAT solver; "
                 "registers as cut points",
     accepts=("time_budget", "seed", "patterns", "aig_opt"),
 )

@@ -171,17 +171,21 @@ def combinational_equivalent(
         )
 
 
-def is_tautology_by_sat(netlist: Netlist, output: Optional[str] = None) -> bool:
+def is_tautology_by_sat(netlist: Netlist, output: Optional[str] = None,
+                        aig_opt: bool = True) -> bool:
     """AIG/SAT path: is the given combinational output constantly true?
 
-    Lowers the circuit to the structurally-hashed AIG and asks the
-    CDCL-lite solver for a falsifying vector (UNSAT = tautology).  Agrees
-    with :func:`is_tautology` on every circuit; the cost profile is SAT
-    search counters instead of BDD nodes.
+    Lowers the circuit to the structurally-hashed AIG and rides the
+    incremental SAT layer (:class:`repro.verification.sat.IncrementalMiter`):
+    the output's cone is lazily Tseitin-encoded and its complement is posed
+    as an *assumption*, so the query leaves the solver reusable (UNSAT
+    under the assumption = tautology).  Agrees with :func:`is_tautology` on
+    every circuit; the cost profile is SAT search counters instead of BDD
+    nodes.
     """
     from .sat import is_tautology_sat
 
-    return is_tautology_sat(netlist, output)
+    return is_tautology_sat(netlist, output, aig_opt=aig_opt)
 
 
 # ---------------------------------------------------------------------------

@@ -132,6 +132,39 @@ class TestCellKeyDeterminism:
         other = _golden_workload(params={"n": 2, "mode": "x"})
         assert cell_key(other, "match", 10.0, 1000) != base
 
+    def test_insensitive_to_measurement_stats_shape(self, tmp_path):
+        """Digests key on the *spec*, never on the measured stats.
+
+        The incremental-SAT rework added counters (``solver_calls``,
+        ``restarts``, ``learned_kept``, ``learned_deleted``,
+        ``vars_encoded``, ``classes_split``) to ``VerificationResult.stats``
+        — a payload-shape change, not a semantic one, so no
+        ``CACHE_SCHEMA`` bump: pre-rework disk entries (old stats shape)
+        must still be served under the same digest, and new-shape entries
+        must round-trip unchanged.
+        """
+        w = _golden_workload()
+        key = cell_key(w, "fraig", 10.0, 1000, salt="golden-salt")
+        # the digest is computed before any measurement exists, so nothing
+        # about the stats payload can reach it
+        assert key == cell_key(w, "fraig", 10.0, 1000, salt="golden-salt")
+
+        old = Measurement("w", "fraig", "ok", 1.0,
+                          stats={"decisions": 3.0, "sat_calls": 2.0})
+        new = Measurement("w", "fraig", "ok", 1.0,
+                          stats={"decisions": 3.0, "sat_calls": 2.0,
+                                 "solver_calls": 2.0, "restarts": 0.0,
+                                 "learned_kept": 5.0, "learned_deleted": 1.0,
+                                 "vars_encoded": 40.0, "classes_split": 1.0})
+        directory = str(tmp_path / "cache")
+        cache = ResultCache(directory=directory)
+        cache.store(key, old)
+        served = ResultCache(directory=directory).lookup(key)
+        assert served == old  # old-shape entry still hits under the new code
+        cache.store("other-key", new)
+        again = ResultCache(directory=directory).lookup("other-key")
+        assert again == new  # new counters survive the disk round-trip
+
     def test_adhoc_workload_keys_on_circuit_content(self):
         w = _golden_workload()
         w.provenance = None
