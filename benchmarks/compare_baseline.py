@@ -10,8 +10,10 @@ the deterministic cost counters each benchmark stores in ``extra_info`` —
 (BDD engine work), ``aig_nodes`` (shared-IR size), ``aig_nodes_post`` and
 ``rewrites_applied`` (DAG-aware rewriting effectiveness), ``gate_cells``
 (pattern-matched emission size), ``decisions`` / ``solver_calls`` /
-``restarts`` (SAT search effort and incremental-solver reuse) and
-``cache_hits`` / ``cache_misses`` (result-cache effectiveness).  All are
+``restarts`` (SAT search effort and incremental-solver reuse),
+``cache_hits`` / ``cache_misses`` (result-cache effectiveness) and
+``faults_injected`` / ``faults_detected`` / ``cex_certified`` / ``retries``
+(fuzz-oracle coverage and runner resilience).  All are
 machine-independent, unlike wall-clock times,
 so the comparison is stable across CI runners.  The script exits non-zero
 when
@@ -42,7 +44,9 @@ from typing import Dict
 TRACKED_COUNTERS = ("kernel_steps", "peak_nodes", "ite_calls",
                     "aig_nodes", "aig_nodes_post", "rewrites_applied",
                     "gate_cells", "decisions", "solver_calls", "restarts",
-                    "cache_hits", "cache_misses")
+                    "cache_hits", "cache_misses",
+                    "faults_injected", "faults_detected", "cex_certified",
+                    "retries")
 
 
 def load_counters(path: str) -> Dict[str, Dict[str, int]]:

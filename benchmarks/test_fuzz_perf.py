@@ -1,0 +1,42 @@
+"""Fuzz-sweep determinism counters under the benchmark harness.
+
+One seeded sweep (the three flavours over the default small dimensions)
+runs through the differential oracle; its deterministic counters —
+``faults_injected`` / ``faults_detected`` (ground-truth coverage),
+``cex_certified`` (every refutation carries a replay-certified witness) and
+``retries`` (crashed-worker re-dispatches, zero for in-process runs) — are
+recorded as ``extra_info`` and guarded by ``compare_baseline.py``.  A
+violation or a cross-backend disagreement fails the benchmark outright:
+the oracle's clean verdict on the pinned seeds is part of the baseline.
+"""
+
+import pytest
+
+from repro.eval.fuzz import make_specs, run_fuzz
+
+#: pinned sweep recipe — small enough for CI, covers every flavour twice
+CELLS = 6
+SEED = 0
+METHODS = ("sis", "smv")
+DIMS = dict(n_inputs=3, n_flipflops=4, n_gates=16, n_faults=1)
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return make_specs(CELLS, seed=SEED, **DIMS)
+
+
+def test_fuzz_sweep_oracle_counters(benchmark, specs, verifier_budget):
+    report = benchmark.pedantic(
+        lambda: run_fuzz(specs, methods=METHODS,
+                         time_budget=verifier_budget, shrink=False),
+        rounds=1, iterations=1,
+    )
+    c = report.counters
+    assert not report.violations, [v.detail for v in report.violations]
+    assert not report.disagreements
+    assert c["faults_detected"] == c["fault_cells"] == 4.0
+    benchmark.extra_info["faults_injected"] = int(c["faults_injected"])
+    benchmark.extra_info["faults_detected"] = int(c["faults_detected"])
+    benchmark.extra_info["cex_certified"] = int(c["cex_certified"])
+    benchmark.extra_info["retries"] = int(c["retries"])

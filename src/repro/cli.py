@@ -34,6 +34,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from .eval import cache as result_cache
 from .eval import runner, scenarios, service, table1, table2
+from .eval.fuzz import DEFAULT_METHODS as DEFAULT_FUZZ_METHODS
 from .verification import registry
 
 
@@ -188,6 +189,90 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"cache: hits={cache.hits} misses={cache.misses}",
               file=sys.stderr, flush=True)
     return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .eval import fuzz
+
+    if args.via_daemon and args.no_isolate:
+        print("error: --via-daemon and --no-isolate are mutually exclusive",
+              flush=True)
+        return 2
+    if args.replay:
+        try:
+            spec, method, kind = fuzz.load_repro(args.replay)
+            cell = fuzz.build_cell(spec)
+            measurement = runner.run_cell(
+                cell.workload, method, args.budget, args.node_budget,
+            )
+        except (OSError, ValueError, KeyError, fuzz.FuzzError) as exc:
+            print(f"error: {exc}", flush=True)
+            return 2
+        found = fuzz.violation_of(
+            registry.get_checker(method), cell.expected, measurement
+        )
+        print(f"replay {cell.workload.name} / {method}: "
+              f"verdict {measurement.verdict} "
+              f"(expected {cell.expected}; recorded violation: {kind})")
+        if found is not None:
+            print(f"violation reproduces: {found[0]} — {found[1]}")
+            return 1
+        print("violation does not reproduce")
+        return 0
+
+    client = None
+    cache = None
+    if args.via_daemon:
+        client = service.DaemonClient(args.socket)
+        try:
+            client.ping()
+        except (OSError, EOFError):
+            print(f"error: no daemon listening on {client.socket_path} "
+                  "(start one with: python -m repro serve)", flush=True)
+            return 2
+    elif not args.no_cache:
+        cache = result_cache.ResultCache(
+            args.cache_dir or result_cache.default_cache_dir()
+        )
+    try:
+        methods = _parse_methods(args.methods) or list(fuzz.DEFAULT_METHODS)
+        specs = fuzz.make_specs(
+            args.cells, args.seed, n_inputs=args.inputs,
+            n_flipflops=args.flipflops, n_gates=args.gates,
+            n_faults=args.faults,
+        )
+        report = fuzz.run_fuzz(
+            specs, methods=methods,
+            time_budget=args.budget, node_budget=args.node_budget,
+            jobs=1 if args.no_isolate else args.jobs,
+            isolate=not args.no_isolate,
+            on_result=_make_stream_printer() if args.stream else None,
+            cache=cache, client=client,
+            shrink=not args.no_shrink, max_shrinks=args.max_shrinks,
+            out_dir=args.out_dir,
+        )
+    except (KeyError, TypeError, ValueError, fuzz.FuzzError) as exc:
+        print(f"error: {exc}", flush=True)
+        return 2
+    print(report.render())
+    # diagnostics go to stderr so the table on stdout stays byte-comparable
+    # across serial / --jobs / --via-daemon runs
+    for violation in report.violations:
+        print(f"VIOLATION {violation.cell} / {violation.method}: "
+              f"{violation.kind} ({violation.detail})",
+              file=sys.stderr, flush=True)
+    for cell in report.disagreements:
+        print(f"DISAGREEMENT {cell}", file=sys.stderr, flush=True)
+    for path in report.repro_paths:
+        print(f"repro written: {path}", file=sys.stderr, flush=True)
+    if client is not None:
+        print(f"cache: hits={client.stats['cache_hits']} "
+              f"misses={client.stats['cache_misses']} (daemon)",
+              file=sys.stderr, flush=True)
+    elif cache is not None:
+        print(f"cache: hits={cache.hits} misses={cache.misses}",
+              file=sys.stderr, flush=True)
+    return 1 if (report.violations or report.disagreements) else 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -379,6 +464,69 @@ def build_parser() -> argparse.ArgumentParser:
                        help="result cache directory (default: "
                             f"$REPRO_CACHE_DIR or {result_cache.DEFAULT_CACHE_DIR})")
     run_p.set_defaults(func=_cmd_run)
+
+    fuzz_p = sub.add_parser(
+        "fuzz", help="run the adversarial fault-injection fuzz oracle",
+        description="Generate seeded fuzz cells (random circuits x legal "
+                    "retimings x visible injected faults), run every "
+                    "requested backend on each, and cross-check all verdicts "
+                    "against the injected-fault ground truth and against "
+                    "each other.  Violations are delta-debugged to minimal "
+                    "replayable JSON repros.  Exits 1 on any violation or "
+                    "cross-backend disagreement.",
+    )
+    fuzz_p.add_argument("--cells", type=int, default=12,
+                        help="number of fuzz cells (default 12); flavours "
+                             "cycle retime / fault / retime-fault")
+    fuzz_p.add_argument("--seed", type=int, default=0,
+                        help="base seed; cell i uses seed+i (default 0)")
+    fuzz_p.add_argument("--methods", default=None,
+                        help="comma-separated backends (default "
+                             f"{','.join(DEFAULT_FUZZ_METHODS)}); each runs "
+                             "only on the flavours it is applicable to")
+    fuzz_p.add_argument("--inputs", type=int, default=4,
+                        help="primary inputs per fuzz circuit (default 4)")
+    fuzz_p.add_argument("--flipflops", type=int, default=5,
+                        help="flip-flops per fuzz circuit (default 5)")
+    fuzz_p.add_argument("--gates", type=int, default=24,
+                        help="gates per fuzz circuit (default 24)")
+    fuzz_p.add_argument("--faults", type=int, default=2,
+                        help="visible faults injected per inequivalent cell "
+                             "(default 2)")
+    fuzz_p.add_argument("--jobs", type=int, default=1,
+                        help="max concurrent worker subprocesses (default 1)")
+    fuzz_p.add_argument("--budget", type=float, default=20.0,
+                        help="per-cell wall-clock budget in seconds "
+                             "(default 20)")
+    fuzz_p.add_argument("--node-budget", type=int, default=500_000,
+                        help="per-cell BDD node budget (default 500000)")
+    fuzz_p.add_argument("--no-isolate", action="store_true",
+                        help="run cells in-process with cooperative budgets "
+                             "(implies --jobs 1)")
+    fuzz_p.add_argument("--stream", action="store_true",
+                        help="print each cell as its future completes")
+    fuzz_p.add_argument("--via-daemon", action="store_true",
+                        help="submit cells to a resident `repro serve` daemon")
+    fuzz_p.add_argument("--socket", default=None,
+                        help="daemon socket path (default: $REPRO_SOCKET or "
+                             f"{service.DEFAULT_SOCKET})")
+    fuzz_p.add_argument("--no-cache", action="store_true",
+                        help="disable the content-addressed result cache")
+    fuzz_p.add_argument("--cache-dir", default=None,
+                        help="result cache directory (default: "
+                             f"$REPRO_CACHE_DIR or {result_cache.DEFAULT_CACHE_DIR})")
+    fuzz_p.add_argument("--out-dir", default=None,
+                        help="directory for minimised repros (default "
+                             ".benchmarks/fuzz)")
+    fuzz_p.add_argument("--no-shrink", action="store_true",
+                        help="skip delta-debugging of violations")
+    fuzz_p.add_argument("--max-shrinks", type=int, default=24,
+                        help="re-measurement budget per shrunk violation "
+                             "(default 24)")
+    fuzz_p.add_argument("--replay", default=None, metavar="FILE",
+                        help="replay a minimised repro file instead of "
+                             "sweeping; exits 1 if the violation reproduces")
+    fuzz_p.set_defaults(func=_cmd_fuzz)
 
     serve_p = sub.add_parser(
         "serve", help="run the resident evaluation daemon",

@@ -126,10 +126,13 @@ def measurement_to_dict(measurement: Measurement) -> Dict[str, Any]:
         "seconds": measurement.seconds,
         "detail": measurement.detail,
         "stats": dict(measurement.stats),
+        "verdict": measurement.verdict,
+        "counterexample": measurement.counterexample,
     }
 
 
 def measurement_from_dict(payload: Dict[str, Any]) -> Measurement:
+    cex = payload.get("counterexample")
     return Measurement(
         workload=payload["workload"],
         method=payload["method"],
@@ -137,6 +140,9 @@ def measurement_from_dict(payload: Dict[str, Any]) -> Measurement:
         seconds=float(payload["seconds"]),
         detail=payload.get("detail", ""),
         stats={k: float(v) for k, v in payload.get("stats", {}).items()},
+        verdict=payload.get("verdict", ""),
+        counterexample=None if cex is None else
+        {str(k): bool(v) for k, v in cex.items()},
     )
 
 

@@ -50,6 +50,23 @@ class Measurement:
     #: structured cost counters from the backend (kernel steps, BDD nodes,
     #: iterations, ...) — see :class:`repro.verification.common.VerificationResult`.
     stats: Dict[str, float] = field(default_factory=dict)
+    #: the backend's own verdict ("equivalent" | "not_equivalent" | "timeout"
+    #: | "error") — ``status`` folds every non-proof into "failed", but the
+    #: fuzz oracle must distinguish a refutation from a crash.
+    verdict: str = ""
+    #: certified counterexample of a ``not_equivalent`` verdict (total,
+    #: sorted-key assignment; see verification.common.certify_result).
+    counterexample: Optional[Dict[str, bool]] = None
+
+    def __post_init__(self):
+        if not self.verdict:
+            self.verdict = {"ok": "equivalent", "timeout": "timeout"}.get(
+                self.status, "error"
+            )
+        if self.counterexample is not None:
+            self.counterexample = {
+                str(k): bool(v) for k, v in sorted(self.counterexample.items())
+            }
 
     def render(self, precision: int = 2) -> str:
         if self.status == "ok":
@@ -126,6 +143,8 @@ def run_cell(
         seconds=result.seconds,
         detail=result.detail,
         stats=dict(result.stats),
+        verdict=result.status,
+        counterexample=result.counterexample,
     )
 
 

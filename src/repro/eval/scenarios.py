@@ -263,3 +263,7 @@ def _random_seq_scenario(
         )
         for seed in as_seq(seeds)
     ]
+
+
+# registered at the bottom to break the scenarios <-> fuzz import cycle
+from . import fuzz as _fuzz  # noqa: E402,F401

@@ -102,15 +102,20 @@ class _Worker:
 class WorkerPool:
     """A fixed-size pool of persistent cell workers with kill-based recycling."""
 
-    def __init__(self, size: int, grace: float = KILL_GRACE):
+    def __init__(self, size: int, grace: float = KILL_GRACE,
+                 retry_backoff: float = 0.05):
         if size < 1:
             raise ValueError(f"pool size must be >= 1, got {size}")
         self.size = size
         self.grace = grace
+        #: delay before a crashed cell's single retry is re-dispatched
+        self.retry_backoff = retry_backoff
         #: kill + respawn events (budget overruns and worker deaths)
         self.recycled = 0
         #: cells completed over the pool's lifetime
         self.cells_run = 0
+        #: crashed cells re-dispatched onto a fresh worker (one retry each)
+        self.retries = 0
         self._ctx = _mp_context()
         self._workers: List[_Worker] = [self._spawn() for _ in range(size)]
 
@@ -175,24 +180,36 @@ class WorkerPool:
 
         ``on_result`` fires per job in completion order.  A job whose worker
         blows the wall-clock budget is recorded as the timeout dash and the
-        worker is recycled; a job whose worker dies is recorded as ``failed``
-        and the worker is recycled — either way the pool stays serviceable.
+        worker is recycled; a job whose worker dies is retried exactly once
+        on a fresh worker after ``retry_backoff`` seconds — a second crash
+        is recorded as ``failed`` (with ``stats["retries"]=1``), so a
+        deterministic crasher still fails fast and never wedges the pool.
+        Budget kills are *not* retried: the dash is a deterministic verdict.
         """
-        queue = deque(items)
+        #: (index, spec, earliest dispatch instant); retries re-enter at the
+        #: back with a backoff timestamp, fresh jobs are dispatchable at once
+        queue = deque((index, spec, 0.0) for index, spec in items)
         busy: Dict[int, Tuple[_Worker, CellSpec, float]] = {}
         results: Dict[int, Measurement] = {}
+        retried: set = set()
 
         def finish(index: int, measurement: Measurement) -> None:
+            if index in retried:
+                measurement.stats["retries"] = 1.0
             results[index] = measurement
             self.cells_run += 1
             if on_result is not None:
                 on_result(index, measurement)
 
         while queue or busy:
+            now = time.monotonic()
             busy_ids = {id(w) for (w, _, _) in busy.values()}
             idle = [w for w in self._workers if id(w) not in busy_ids]
-            while queue and idle:
-                index, spec = queue.popleft()
+            # ready_at is nondecreasing along the queue (fresh jobs first,
+            # retries appended in crash order), so stop at the first job
+            # whose backoff has not elapsed yet
+            while queue and idle and queue[0][2] <= now:
+                index, spec, _ = queue.popleft()
                 worker = idle.pop()
                 try:
                     worker.conn.send(spec)
@@ -203,9 +220,17 @@ class WorkerPool:
                 deadline = time.monotonic() + spec.time_budget + self.grace
                 busy[index] = (worker, spec, deadline)
 
-            # sleep until either a worker's pipe becomes readable (wait
-            # returns early) or the nearest kill deadline arrives
+            if not busy:
+                # only backed-off retries remain; sleep the head's delay out
+                time.sleep(max(0.0, queue[0][2] - time.monotonic()))
+                continue
+
+            # sleep until a worker's pipe becomes readable (wait returns
+            # early), the nearest kill deadline arrives, or a backed-off
+            # retry becomes dispatchable on an idle worker
             wait_for = min(dl for (_, _, dl) in busy.values()) - time.monotonic()
+            if queue and idle:
+                wait_for = min(wait_for, queue[0][2] - time.monotonic())
             ready = set(mp_connection.wait(
                 [w.conn for (w, _, _) in busy.values()],
                 timeout=max(0.0, wait_for),
@@ -223,13 +248,21 @@ class WorkerPool:
                         worker.process.join()
                         exitcode = worker.process.exitcode
                         self._recycle(worker)
+                        if index not in retried:
+                            retried.add(index)
+                            self.retries += 1
+                            queue.append(
+                                (index, spec,
+                                 time.monotonic() + self.retry_backoff)
+                            )
+                            continue
                         measurement = Measurement(
                             workload=spec.workload.name,
                             method=spec.method,
                             status="failed",
                             seconds=0.0,
                             detail="worker exited without a result "
-                                   f"(exit code {exitcode})",
+                                   f"(exit code {exitcode}; retried once)",
                         )
                     finish(index, measurement)
                 elif now >= deadline:
@@ -253,6 +286,7 @@ def _handle_connection(conn, pool: WorkerPool, cache, log) -> bool:
             "jobs": pool.size,
             "recycled": pool.recycled,
             "cells_run": pool.cells_run,
+            "retries": pool.retries,
             "cache": cache.counters() if cache is not None else None,
         }))
     elif op == "run":
@@ -375,14 +409,30 @@ class DaemonClient:
     Table-I loop) reports one total.
     """
 
+    #: transient connection errors are retried this many times with
+    #: exponential backoff; an absent socket file is *not* retried, so a
+    #: stopped daemon still fails fast
+    CONNECT_RETRIES = 4
+    CONNECT_BACKOFF = 0.05
+
     def __init__(self, socket_path: Optional[str] = None):
         self.socket_path = socket_path or default_socket_path()
         self.stats: Dict[str, int] = {"cache_hits": 0, "cache_misses": 0}
 
     def _connect(self):
-        return mp_connection.Client(
-            self.socket_path, family="AF_UNIX", authkey=_AUTHKEY
-        )
+        delay = self.CONNECT_BACKOFF
+        for attempt in range(self.CONNECT_RETRIES + 1):
+            try:
+                return mp_connection.Client(
+                    self.socket_path, family="AF_UNIX", authkey=_AUTHKEY
+                )
+            except (ConnectionRefusedError, ConnectionResetError):
+                # daemon busy in accept()/restarting: back off and retry
+                # instead of aborting the whole batch
+                if attempt == self.CONNECT_RETRIES:
+                    raise
+                time.sleep(delay)
+                delay *= 2
 
     def run_cells(
         self,

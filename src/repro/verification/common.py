@@ -55,6 +55,14 @@ class VerificationResult:
             self.stats.setdefault("iterations", float(self.iterations))
         if self.peak_nodes:
             self.stats.setdefault("peak_nodes", float(self.peak_nodes))
+        if self.counterexample is not None:
+            # Canonical serialisation: sorted names, explicit bools.  Tables
+            # rendered from different execution modes (serial / pool / daemon)
+            # must agree byte-for-byte, so the assignment order can never
+            # depend on BDD traversal or solver model order.
+            self.counterexample = {
+                str(k): bool(v) for k, v in sorted(self.counterexample.items())
+            }
 
     @property
     def ok(self) -> bool:
@@ -333,3 +341,140 @@ def declare_next_state_vars(product: ProductFSM) -> Dict[str, str]:
         product.manager.declare(primed)
         mapping[var] = primed
     return mapping
+
+
+# ---------------------------------------------------------------------------
+# Counterexample certification
+# ---------------------------------------------------------------------------
+#
+# A ``not_equivalent`` verdict is only as trustworthy as its witness.  Before
+# any backend's counterexample is reported, it is replayed through the cycle
+# simulator — an engine entirely independent of BDDs, SAT and the kernel —
+# and must actually drive the two circuits apart.  A witness that fails
+# replay demotes the result to ``error`` with ``cex_certified=0`` instead of
+# silently handing the caller a wrong model.
+#
+# Two counterexample dialects exist in the registry:
+#
+# * *cut-point* backends (taut, taut-rw, sat, fraig) assign the primary
+#   inputs plus one ``cut.<register-name>`` variable per register; the claim
+#   is that some output or some shared register's next-state function
+#   differs under that assignment.
+# * *product-FSM* backends (smv, sis, eijk, eijk+) assign the primary inputs
+#   plus ``A.<reg-output>`` / ``B.<reg-output>`` state variables; the claim
+#   is that the paired outputs differ in that (reached) state pair, so only
+#   output disagreement counts as distinguishing.
+
+
+def _cex_style(cex: Dict[str, bool], gate_a: Netlist, gate_b: Netlist) -> str:
+    """Classify a counterexample as ``"product"`` or ``"cut"`` keyed."""
+    for key in cex:
+        if key.startswith("A.") or key.startswith("B."):
+            return "product"
+        if key.startswith("cut."):
+            return "cut"
+    # No state variables mentioned at all (purely combinational witness):
+    # shared register names mean the cut-point reading applies.
+    names_a = set(gate_a.registers)
+    if names_a and names_a == set(gate_b.registers):
+        return "cut"
+    return "product" if names_a or gate_b.registers else "cut"
+
+
+def replay_counterexample(
+    original: Netlist,
+    retimed: Netlist,
+    counterexample: Dict[str, bool],
+    aig_opt: bool = True,
+    default: bool = False,
+) -> Tuple[bool, List[str], Dict[str, bool]]:
+    """Replay a counterexample through the cycle simulator.
+
+    Returns ``(distinguishes, diffs, completed)`` where ``diffs`` names the
+    signals that disagree and ``completed`` is the witness extended to a
+    *total* assignment (don't-care inputs and unmentioned state bits filled
+    with ``default``), sorted-key normalised — the form in which a certified
+    counterexample is reported and serialised.
+    """
+    from ..circuits.simulate import Simulator
+
+    gate_a = _ensure_gate_level(original, opt=aig_opt)
+    gate_b = _ensure_gate_level(retimed, opt=aig_opt)
+    cex = {str(k): bool(v) for k, v in counterexample.items()}
+    style = _cex_style(cex, gate_a, gate_b)
+
+    completed: Dict[str, bool] = {}
+    inputs: Dict[str, int] = {}
+    for name in gate_a.inputs:
+        value = cex.get(name, default)
+        inputs[name] = int(value)
+        completed[name] = bool(value)
+
+    def state_for(gate: Netlist, prefix: str) -> Dict[str, int]:
+        state: Dict[str, int] = {}
+        for name, reg in gate.registers.items():
+            if style == "product":
+                key = f"{prefix}{reg.output}"
+            else:
+                key = f"cut.{name}"
+            value = cex.get(key, default)
+            state[name] = int(value)
+            completed[key] = bool(value)
+        return state
+
+    sim_a = Simulator(gate_a, state_for(gate_a, "A."))
+    sim_b = Simulator(gate_b, state_for(gate_b, "B."))
+    vals_a = sim_a.evaluate_combinational(inputs)
+    vals_b = sim_b.evaluate_combinational(inputs)
+
+    diffs = [o for o in gate_a.outputs
+             if o in gate_b.outputs and vals_a[o] != vals_b[o]]
+    if style == "cut":
+        # Cut-point witnesses may also separate a shared register's
+        # next-state function; a product witness may not claim that.
+        for name, reg_a in gate_a.registers.items():
+            reg_b = gate_b.registers.get(name)
+            if reg_b is not None and vals_a[reg_a.input] != vals_b[reg_b.input]:
+                diffs.append(f"next({name})")
+    completed = {k: completed[k] for k in sorted(completed)}
+    return bool(diffs), diffs, completed
+
+
+def certify_result(
+    result: VerificationResult,
+    original: Netlist,
+    retimed: Netlist,
+    aig_opt: bool = True,
+) -> VerificationResult:
+    """Certify a ``not_equivalent`` result's counterexample by replay.
+
+    Successful replay rewrites the counterexample to its completed total
+    assignment and stamps ``cex_certified=1``; failure (the witness does not
+    distinguish the circuits, or cannot even be replayed) demotes the result
+    to ``error`` with ``cex_certified=0`` and no counterexample.
+    """
+    if result.status != "not_equivalent" or result.counterexample is None:
+        return result
+    try:
+        distinguishes, diffs, completed = replay_counterexample(
+            original, retimed, result.counterexample, aig_opt=aig_opt
+        )
+    except Exception as exc:  # malformed witness: unreplayable is uncertified
+        distinguishes, diffs, completed = False, [], {}
+        reason = f"replay raised {type(exc).__name__}: {exc}"
+    else:
+        reason = "replay does not distinguish the circuits"
+    if not distinguishes:
+        return VerificationResult(
+            method=result.method,
+            status="error",
+            seconds=result.seconds,
+            iterations=result.iterations,
+            peak_nodes=result.peak_nodes,
+            counterexample=None,
+            detail=f"uncertified counterexample: {reason}",
+            stats={**result.stats, "cex_certified": 0.0},
+        )
+    result.counterexample = completed
+    result.stats["cex_certified"] = 1.0
+    return result

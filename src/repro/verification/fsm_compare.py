@@ -81,7 +81,12 @@ def check_equivalence(
             budget.check()
             # on-the-fly invariant check
             if m.apply_and(reached, bad) != FALSE:
-                cex = m.any_sat(m.apply_and(reached, bad))
+                # Witness from reached ∧ ¬good, not reached ∧ bad: the input
+                # variables are quantified out of `bad`, so a model of it
+                # carries no input values.  reached ∧ bad ≠ ⊥ implies
+                # reached ∧ ¬good ≠ ⊥, and the latter's models assign the
+                # violating inputs too.
+                cex = m.any_sat(m.apply_and(reached, m.apply_not(good)))
                 return VerificationResult(
                     method="sis",
                     status="not_equivalent",
@@ -99,7 +104,7 @@ def check_equivalence(
             iterations += 1
 
         if m.apply_and(reached, bad) != FALSE:
-            cex = m.any_sat(m.apply_and(reached, bad))
+            cex = m.any_sat(m.apply_and(reached, m.apply_not(good)))
             return VerificationResult(
                 method="sis",
                 status="not_equivalent",

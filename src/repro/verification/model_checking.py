@@ -269,7 +269,11 @@ def check_equivalence(
         )
         seconds = time.perf_counter() - start
         if hit_bad:
-            witness_region = m.apply_and(reached, bad)
+            # `bad` has the inputs quantified away, so its models say nothing
+            # about which input vector breaks equality.  reached ∧ bad ≠ ⊥
+            # implies reached ∧ ¬good ≠ ⊥, and a model of the latter carries
+            # both the state pair and the violating inputs.
+            witness_region = m.apply_and(reached, m.apply_not(good))
             cex = m.any_sat(witness_region)
             return VerificationResult(
                 method="smv",

@@ -33,7 +33,7 @@ from . import (
     tautology,
     van_eijk,
 )
-from .common import VerificationError, VerificationResult
+from .common import VerificationError, VerificationResult, certify_result
 
 
 @dataclass(frozen=True)
@@ -51,6 +51,14 @@ class Checker:
     needs_cut: bool = False
     #: "verifier" (post-synthesis check) or "synthesis" (formal step).
     kind: str = "verifier"
+    #: treats registers as combinational cut points, so it requires the two
+    #: circuits to share identical register sets (inapplicable to pairs
+    #: whose state representation differs, e.g. after retiming).
+    cut_points: bool = False
+    #: decides every in-scope instance; incomplete backends (induction,
+    #: structural matching) may legitimately return ``error`` when
+    #: inconclusive, so a differential oracle must not flag that as a bug.
+    complete: bool = True
 
 
 _CHECKERS: Dict[str, Checker] = {}
@@ -64,6 +72,8 @@ def register_checker(
     accepts: Sequence[str] = ("time_budget",),
     needs_cut: bool = False,
     kind: str = "verifier",
+    cut_points: bool = False,
+    complete: bool = True,
     replace: bool = False,
 ):
     """Register a backend; usable directly or as a decorator.
@@ -82,6 +92,8 @@ def register_checker(
             accepts=frozenset(accepts),
             needs_cut=needs_cut,
             kind=kind,
+            cut_points=cut_points,
+            complete=complete,
         )
         return func
 
@@ -128,7 +140,18 @@ def run_checker(
     kwargs = {
         k: v for k, v in kwargs.items() if k in checker.accepts and v is not None
     }
-    return checker.fn(original, retimed, **kwargs)
+    result = checker.fn(original, retimed, **kwargs)
+    if result.status == "not_equivalent" and result.counterexample is not None:
+        # No backend's counterexample is reported on its own authority: it
+        # must survive an independent simulator replay first (see
+        # common.certify_result).  The same aig_opt setting is used so the
+        # replay sees the very netlists the backend compared.
+        aig_opt = extra.get("aig_opt")
+        result = certify_result(
+            result, original, retimed,
+            aig_opt=True if aig_opt is None else bool(aig_opt),
+        )
+    return result
 
 
 # ---------------------------------------------------------------------------
@@ -202,24 +225,28 @@ register_checker(
                 "simulation signatures)",
     accepts=("time_budget", "node_budget", "simulation_cycles", "seed",
              "aig_opt"),
+    complete=False,
 )
 register_checker(
     "eijk+", _eijk_plus,
     description="van Eijk with functional-dependency exploitation",
     accepts=("time_budget", "node_budget", "simulation_cycles", "seed",
              "aig_opt"),
+    complete=False,
 )
 register_checker(
     "match", retiming_verify.check_equivalence,
     description="structural retiming matching (Leiserson-Saxe lag recovery; "
                 "limited to pure retiming)",
     accepts=("time_budget", "check_cycles"),
+    complete=False,
 )
 register_checker(
     "taut", tautology.combinational_equivalent,
     description="BDD combinational equivalence with registers as cut points "
                 "(same-state-representation restriction)",
     accepts=("time_budget", "node_budget", "aig_opt"),
+    cut_points=True,
 )
 register_checker(
     "sat", sat.check_equivalence_sat,
@@ -229,6 +256,7 @@ register_checker(
                 "cone-local Tseitin, Luby restarts, LBD clause GC); "
                 "registers as cut points",
     accepts=("time_budget", "aig_opt"),
+    cut_points=True,
 )
 register_checker(
     "fraig", fraig.check_equivalence_fraig,
@@ -237,12 +265,14 @@ register_checker(
                 "miters over one persistent incremental SAT solver; "
                 "registers as cut points",
     accepts=("time_budget", "seed", "patterns", "aig_opt"),
+    cut_points=True,
 )
 register_checker(
     "taut-rw", tautology.combinational_equivalent_by_rewriting,
     description="kernel-checked combinational equivalence on the worklist "
                 "rewrite engine (every case a theorem)",
     accepts=("time_budget", "max_vectors"),
+    cut_points=True,
 )
 register_checker(
     "hash", _hash_formal,

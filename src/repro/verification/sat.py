@@ -727,7 +727,9 @@ class IncrementalMiter:
             return None  # structurally closed by the shared strash table
         solver = self.solver
         if la == lit_not(lb):
-            # complements differ under every assignment: any model works
+            # complements differ under every assignment: any model works,
+            # but the shared cone must be encoded before projecting onto it
+            self.lit(la)
             sat = solver.solve(deadline=deadline,
                                decision_vars=self._cone_vars((la, lb)))
             if not sat:  # pragma: no cover - a consistent circuit encoding

@@ -125,16 +125,23 @@ def combinational_equivalent(
         vals_b = net_functions(gate_b)
 
         mismatches = []
+        witness = None  # BDD separating the first pair of unequal functions
         for out in gate_a.outputs:
             if out not in gate_b.nets:
                 mismatches.append(f"output {out} missing in second circuit")
             elif vals_a[out] != vals_b[out]:
                 mismatches.append(f"output {out}")
+                if witness is None:
+                    witness = manager.apply_xor(vals_a[out], vals_b[out])
         regs_a = {r.name: r for r in gate_a.registers.values()}
         regs_b = {r.name: r for r in gate_b.registers.values()}
         for name in sorted(set(regs_a) & set(regs_b)):
             if vals_a[regs_a[name].input] != vals_b[regs_b[name].input]:
                 mismatches.append(f"next-state of register {name}")
+                if witness is None:
+                    witness = manager.apply_xor(
+                        vals_a[regs_a[name].input], vals_b[regs_b[name].input]
+                    )
             if regs_a[name].init != regs_b[name].init:
                 mismatches.append(f"initial value of register {name}")
         for name in sorted(set(regs_a) ^ set(regs_b)):
@@ -147,6 +154,9 @@ def combinational_equivalent(
                 status="not_equivalent",
                 seconds=seconds,
                 peak_nodes=manager.num_nodes,
+                counterexample=(
+                    manager.any_sat(witness) if witness is not None else None
+                ),
                 detail="; ".join(mismatches),
                 stats={**manager.op_stats(), **opt_stats},
             )

@@ -56,11 +56,28 @@ def _stub_die(original, retimed, time_budget=None):
     os._exit(3)  # simulates a segfaulting / OOM-killed worker
 
 
+def _stub_crash_once(original, retimed, time_budget=None):
+    """Crashes the first worker that runs it, succeeds on the retry.
+
+    Cross-process state lives in a marker file named by the
+    ``REPRO_TEST_CRASH_ONCE`` env var (workers inherit it at fork time).
+    """
+    marker = os.environ["REPRO_TEST_CRASH_ONCE"]
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return VerificationResult(method="svc-flaky", status="equivalent",
+                                  seconds=0.5, detail="survived the retry")
+    os.close(fd)
+    os._exit(7)
+
+
 _STUBS = {
     "svc-ok": _stub_ok,
     "svc-to": _stub_coop_timeout,
     "svc-sleep": _stub_sleep,
     "svc-die": _stub_die,
+    "svc-flaky": _stub_crash_once,
 }
 
 
@@ -108,22 +125,54 @@ class TestWorkerPool:
             assert killed.render() == "-"
             assert "wall-clock" in killed.detail
             assert pool.recycled == 1
+            assert pool.retries == 0  # the dash is deterministic: no retry
             assert pool.worker_pids() != pids_before
             again = pool.run(
                 [(0, CellSpec(tiny_workload, "svc-ok", time_budget=60.0))])
             assert again[0].status == "ok"
             assert again[0].seconds == 1.23
 
-    def test_worker_crash_is_a_failed_cell_and_recycles(self, tiny_workload):
-        with WorkerPool(1) as pool:
+    def test_deterministic_crasher_fails_after_one_retry(self, tiny_workload):
+        """A cell that always kills its worker is retried exactly once on a
+        fresh worker, then recorded as ``failed`` — the pool never wedges."""
+        with WorkerPool(1, retry_backoff=0.01) as pool:
             results = pool.run(
                 [(0, CellSpec(tiny_workload, "svc-die", time_budget=60.0))])
             assert results[0].status == "failed"
             assert "exit code 3" in results[0].detail
-            assert pool.recycled == 1
+            assert "retried once" in results[0].detail
+            assert results[0].stats["retries"] == 1.0
+            assert pool.recycled == 2  # both crashes respawned a worker
+            assert pool.retries == 1
             again = pool.run(
                 [(0, CellSpec(tiny_workload, "svc-ok", time_budget=60.0))])
             assert again[0].status == "ok"
+
+    def test_crash_once_cell_succeeds_on_retry(self, tiny_workload, tmp_path,
+                                               monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_CRASH_ONCE", str(tmp_path / "marker"))
+        with WorkerPool(1, retry_backoff=0.01) as pool:
+            results = pool.run(
+                [(0, CellSpec(tiny_workload, "svc-flaky", time_budget=60.0))])
+            assert results[0].status == "ok"
+            assert results[0].detail == "survived the retry"
+            assert results[0].stats["retries"] == 1.0
+            assert pool.recycled == 1
+            assert pool.retries == 1
+
+    def test_retry_lands_on_an_idle_worker_in_wide_pools(self, tiny_workload,
+                                                         tmp_path,
+                                                         monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_CRASH_ONCE", str(tmp_path / "marker"))
+        specs = [(0, CellSpec(tiny_workload, "svc-flaky", time_budget=60.0)),
+                 (1, CellSpec(tiny_workload, "svc-ok", time_budget=60.0)),
+                 (2, CellSpec(tiny_workload, "svc-ok", time_budget=60.0))]
+        with WorkerPool(2, retry_backoff=0.01) as pool:
+            results = pool.run(specs)
+            assert [results[i].status for i in range(3)] == ["ok"] * 3
+            assert results[0].stats["retries"] == 1.0
+            assert "retries" not in results[1].stats
+            assert pool.retries == 1
 
     def test_mixed_batch_keeps_indices(self, tiny_workload):
         specs = _specs(tiny_workload, ["svc-ok", "svc-to", "svc-ok"])
@@ -166,6 +215,7 @@ class TestDaemon:
         assert info["pid"] == os.getpid()
         assert info["jobs"] == 2
         assert info["cells_run"] == 0
+        assert info["retries"] == 0
 
     def test_cold_then_warm_run(self, daemon, tiny_workload):
         specs = _specs(tiny_workload, ["svc-ok", "svc-to"], budget=5.0)
@@ -235,3 +285,56 @@ class TestThreeModeParity:
     def test_run_cells_client_path_matches_serial(self, daemon, tiny_workload):
         specs = _specs(tiny_workload, ["svc-ok", "svc-to"], budget=5.0)
         assert run_cells(specs, client=daemon) == run_cells(specs)
+
+
+# ---------------------------------------------------------------------------
+# DaemonClient connection resilience
+# ---------------------------------------------------------------------------
+
+class TestClientConnectRetry:
+    """Transient refused/reset connections back off and retry; an absent
+    socket file fails fast (a stopped daemon should not cost 4 backoffs)."""
+
+    def _patch(self, monkeypatch, failures, exc_type):
+        import repro.eval.service as service
+
+        attempts = []
+        sleeps = []
+
+        def fake_client(path, family=None, authkey=None):
+            attempts.append(path)
+            if len(attempts) <= failures:
+                raise exc_type("transient")
+            return "connected"
+
+        monkeypatch.setattr(service.mp_connection, "Client", fake_client)
+        monkeypatch.setattr(service.time, "sleep",
+                            lambda s: sleeps.append(s))
+        return attempts, sleeps
+
+    def test_refused_connection_is_retried_with_backoff(self, monkeypatch):
+        attempts, sleeps = self._patch(monkeypatch, failures=2,
+                                       exc_type=ConnectionRefusedError)
+        client = DaemonClient("/tmp/nope.sock")
+        assert client._connect() == "connected"
+        assert len(attempts) == 3
+        assert sleeps == [DaemonClient.CONNECT_BACKOFF,
+                          DaemonClient.CONNECT_BACKOFF * 2]
+
+    def test_persistent_refusal_raises_after_budget(self, monkeypatch):
+        attempts, sleeps = self._patch(monkeypatch, failures=99,
+                                       exc_type=ConnectionResetError)
+        client = DaemonClient("/tmp/nope.sock")
+        with pytest.raises(ConnectionResetError):
+            client._connect()
+        assert len(attempts) == DaemonClient.CONNECT_RETRIES + 1
+        assert len(sleeps) == DaemonClient.CONNECT_RETRIES
+
+    def test_absent_socket_fails_fast(self, monkeypatch):
+        attempts, sleeps = self._patch(monkeypatch, failures=99,
+                                       exc_type=FileNotFoundError)
+        client = DaemonClient("/tmp/nope.sock")
+        with pytest.raises(FileNotFoundError):
+            client._connect()
+        assert len(attempts) == 1
+        assert sleeps == []

@@ -1,0 +1,174 @@
+"""Tests for counterexample certification (:mod:`repro.verification.common`).
+
+Every ``not_equivalent`` verdict that leaves :func:`run_checker` must carry
+a replay-certified witness: the counterexample is pushed through the cycle
+simulator (an engine independent of BDDs/SAT/the kernel) and has to drive
+the two circuits apart.  These tests pin that contract per backend — a real
+injected fault yields ``cex_certified=1`` and a witness that replays — and
+prove the demotion path with a deliberately buggy checker whose fabricated
+witness must never survive certification.
+"""
+
+import pytest
+
+from repro.circuits.generators import random_sequential_circuit
+from repro.circuits.mutate import inject_visible_faults
+from repro.verification.common import (
+    VerificationResult,
+    certify_result,
+    replay_counterexample,
+)
+from repro.verification.registry import (
+    get_checker,
+    register_checker,
+    run_checker,
+    unregister_checker,
+)
+
+#: backends held to a certified witness on a plain (unretimed) faulted pair;
+#: the cut-point family needs identical register sets, which this pair has
+CEX_BACKENDS = ["smv", "sis", "sat", "fraig", "taut", "taut-rw"]
+
+
+@pytest.fixture(scope="module")
+def faulted_pair():
+    """(circuit, visibly mutated circuit) with identical register sets."""
+    base = random_sequential_circuit(4, 5, 24, seed=17)
+    mutant, applied = inject_visible_faults(base, n=1, seed=17)
+    assert applied
+    return base, mutant
+
+
+class TestCertifiedBackends:
+    @pytest.mark.parametrize("method", CEX_BACKENDS)
+    def test_fault_yields_certified_counterexample(self, method, faulted_pair):
+        original, mutant = faulted_pair
+        result = run_checker(method, original, mutant, time_budget=60.0)
+        assert result.status == "not_equivalent"
+        assert result.counterexample is not None
+        assert result.stats.get("cex_certified") == 1.0
+        distinguishes, diffs, _ = replay_counterexample(
+            original, mutant, result.counterexample
+        )
+        assert distinguishes and diffs
+
+    @pytest.mark.parametrize("method", CEX_BACKENDS)
+    def test_certified_witness_is_total_and_sorted(self, method, faulted_pair):
+        original, mutant = faulted_pair
+        result = run_checker(method, original, mutant, time_budget=60.0)
+        cex = result.counterexample
+        assert list(cex) == sorted(cex)
+        assert all(isinstance(v, bool) for v in cex.values())
+        # total over the primary inputs: no don't-care holes left
+        assert set(original.inputs) <= set(cex)
+
+
+class TestReplay:
+    def test_replay_completes_dont_cares(self, faulted_pair):
+        original, mutant = faulted_pair
+        result = run_checker("sis", original, mutant, time_budget=60.0)
+        partial = dict(list(result.counterexample.items())[:1])
+        _, _, completed = replay_counterexample(original, mutant, partial)
+        assert set(original.inputs) <= set(completed)
+        assert list(completed) == sorted(completed)
+
+    def test_replay_rejects_nonwitness_on_equivalent_pair(self):
+        base = random_sequential_circuit(3, 3, 12, seed=1)
+        cex = {name: False for name in base.inputs}
+        cex.update({f"cut.{name}": False for name in base.registers})
+        distinguishes, diffs, _ = replay_counterexample(base, base.copy(), cex)
+        assert not distinguishes and not diffs
+
+
+class TestCertifyResult:
+    def test_passes_through_non_refutations(self, faulted_pair):
+        original, mutant = faulted_pair
+        for status in ("equivalent", "timeout", "error"):
+            result = VerificationResult(method="x", status=status, seconds=0.0)
+            assert certify_result(result, original, mutant) is result
+
+    def test_passes_through_witnessless_refutation(self, faulted_pair):
+        original, mutant = faulted_pair
+        result = VerificationResult(method="x", status="not_equivalent",
+                                    seconds=0.0, counterexample=None)
+        assert certify_result(result, original, mutant) is result
+        assert "cex_certified" not in result.stats
+
+    def test_bogus_witness_is_demoted(self):
+        base = random_sequential_circuit(3, 3, 12, seed=1)
+        clone = base.copy()
+        bogus = {name: False for name in base.inputs}
+        bogus.update({f"cut.{name}": False for name in base.registers})
+        result = VerificationResult(method="x", status="not_equivalent",
+                                    seconds=0.1, counterexample=dict(bogus))
+        demoted = certify_result(result, base, clone)
+        assert demoted.status == "error"
+        assert demoted.counterexample is None
+        assert demoted.stats["cex_certified"] == 0.0
+        assert "uncertified counterexample" in demoted.detail
+
+    def test_spurious_keys_dropped_from_certified_witness(self, faulted_pair):
+        # junk keys are ignored by replay; the all-False completion happens
+        # to distinguish this (genuinely inequivalent) pair, so the witness
+        # certifies — but only in its completed, junk-free total form
+        original, mutant = faulted_pair
+        result = VerificationResult(
+            method="x", status="not_equivalent", seconds=0.0,
+            counterexample={"no_such_signal": True},
+        )
+        out = certify_result(result, original, mutant)
+        assert out.status == "not_equivalent"
+        assert out.stats["cex_certified"] == 1.0
+        assert "no_such_signal" not in out.counterexample
+        assert set(original.inputs) <= set(out.counterexample)
+
+    def test_replay_exception_is_demoted(self, faulted_pair, monkeypatch):
+        import repro.verification.common as common
+
+        def _boom(*args, **kwargs):
+            raise RuntimeError("simulator exploded")
+
+        monkeypatch.setattr(common, "replay_counterexample", _boom)
+        original, mutant = faulted_pair
+        result = VerificationResult(method="x", status="not_equivalent",
+                                    seconds=0.0, counterexample={"a": True})
+        demoted = common.certify_result(result, original, mutant)
+        assert demoted.status == "error"
+        assert demoted.stats["cex_certified"] == 0.0
+        assert "replay raised RuntimeError" in demoted.detail
+
+
+class TestRegistryIntegration:
+    """run_checker certifies centrally, so even a buggy backend cannot leak
+    an uncertified refutation to the evaluation layer."""
+
+    def test_buggy_checker_is_caught_by_run_checker(self):
+        base = random_sequential_circuit(3, 3, 12, seed=6)
+        clone = base.copy()
+
+        def _bogus(original, retimed, time_budget=None):
+            cex = {name: False for name in original.inputs}
+            cex.update({f"cut.{name}": False for name in original.registers})
+            return VerificationResult(method="bogus-cert",
+                                      status="not_equivalent",
+                                      seconds=0.0, counterexample=cex,
+                                      detail="fabricated witness")
+
+        register_checker("bogus-cert", _bogus, accepts=("time_budget",),
+                         replace=True)
+        try:
+            result = run_checker("bogus-cert", base, clone, time_budget=5.0)
+        finally:
+            unregister_checker("bogus-cert")
+        assert result.status == "error"
+        assert result.counterexample is None
+        assert result.stats["cex_certified"] == 0.0
+
+    def test_checker_metadata_exposed(self):
+        assert get_checker("taut").cut_points
+        assert get_checker("sat").cut_points
+        assert get_checker("fraig").cut_points
+        assert not get_checker("smv").cut_points
+        assert not get_checker("eijk").complete
+        assert not get_checker("match").complete
+        assert get_checker("sis").complete

@@ -249,6 +249,28 @@ class TestIncrementalMiter:
                     vb = (vals[lit_node(lb)] & 1) ^ int(lit_negated(lb))
                     assert va != vb, (trial, la, lb, vec)
 
+    def test_complementary_literals_on_unencoded_cone(self):
+        """Regression: ``prove_equal(l, ~l)`` as the FIRST query.
+
+        The complement fast path used to project the decision variables
+        onto a cone that was never Tseitin-encoded (nothing had called
+        ``lit()`` yet), which raised ``KeyError`` instead of refuting —
+        found by ``repro fuzz`` via a BUF->NOT gate swap whose strashed
+        rebuild makes the two outputs structural complements.
+        """
+        aig = Aig("compl")
+        x = aig.add_input("x")
+        y = aig.add_input("y")
+        conj = aig.mk_and(x, y)
+        layer = IncrementalMiter(aig)
+        model = layer.prove_equal(conj, conj ^ 1)
+        assert model is not None  # complements always differ
+        # the cone was encoded on demand and the model assigns all of it
+        assert lit_node(conj) in model
+        assert all(n in model for n in aig.inputs)
+        # and the shared solver is still healthy for ordinary queries
+        assert layer.prove_equal(conj, aig.mk_and(x, y)) is None
+
     def test_encoding_is_lazy_and_dense(self):
         aig = Aig("lazy")
         x = aig.add_input("x")
