@@ -1,0 +1,77 @@
+"""Portfolio-racing and intra-cell sharding determinism counters.
+
+Two deterministic baselines:
+
+* one serial race over the figure-2 pair — serial racing runs rivals in
+  roster order and stops at the first definite verdict, so the winner,
+  the loser count and the winning backend's own cost counters are exact
+  integers, pinned here and guarded by ``compare_baseline.py``;
+* the sharded taut-rw and FRAIG cells — the shard-merged additive
+  counters (``vectors`` summed across vector-range shards, FRAIG merges)
+  must equal the unsharded run's, so the merged values are as
+  deterministic as the backends themselves.
+
+Wall-clock speedup of *parallel* racing is CI-environment dependent and
+is asserted in the ``race-smoke`` CI lane, not here.
+"""
+
+import pytest
+
+from repro.eval.runner import CellSpec, run_spec
+from repro.eval.scenarios import build_scenario
+from repro.eval.workloads import table1_workload
+
+
+@pytest.fixture(scope="module")
+def figure2():
+    return table1_workload(2)
+
+
+@pytest.fixture(scope="module")
+def strash_pair():
+    # register-preserving pairs: the cut-point backends (fraig, taut-rw)
+    # apply here, unlike on the retimed figure-2 pair
+    return build_scenario("strash", widths=[3])
+
+
+def test_serial_race_answer_fast_counters(benchmark, figure2, verifier_budget):
+    """Roster-order serial race: the first rival's definite verdict wins."""
+    spec = CellSpec(figure2, "race:sis,smv,hash",
+                    time_budget=verifier_budget)
+    measurement = benchmark.pedantic(lambda: run_spec(spec),
+                                     rounds=1, iterations=1)
+    assert measurement.status == "ok"
+    assert measurement.verdict == "equivalent"
+    assert measurement.stats["race_winner"] == "sis"  # roster head, definite
+    assert measurement.stats["race_losers"] == 0.0    # nobody else dispatched
+    benchmark.extra_info["race_losers"] = int(measurement.stats["race_losers"])
+    benchmark.extra_info["race_winner_counts"] = 1  # one definite winner
+    benchmark.extra_info["kernel_steps"] = int(
+        measurement.stats.get("kernel_steps", 0))
+
+
+def test_sharded_taut_rw_merged_counters(benchmark, strash_pair,
+                                         verifier_budget):
+    """Vector-range shards: the merged enumeration covers every vector once."""
+    workload = strash_pair[1]  # the small counter pair: exhaustive but quick
+    base = run_spec(CellSpec(workload, "taut-rw", time_budget=60.0))
+    spec = CellSpec(workload, "taut-rw", time_budget=60.0, shards=4)
+    merged = benchmark.pedantic(lambda: run_spec(spec), rounds=1, iterations=1)
+    assert merged.verdict == base.verdict == "equivalent"
+    assert merged.stats["vectors"] == base.stats["vectors"]
+    benchmark.extra_info["shards"] = int(merged.stats["shards"])
+    benchmark.extra_info["kernel_steps"] = int(merged.stats["vectors"])
+
+
+def test_sharded_fraig_merged_counters(benchmark, strash_pair,
+                                       verifier_budget):
+    """Candidate-class shards merge to the unsharded FRAIG verdict."""
+    workload = strash_pair[0]
+    base = run_spec(CellSpec(workload, "fraig", time_budget=60.0))
+    spec = CellSpec(workload, "fraig", time_budget=60.0, shards=4)
+    merged = benchmark.pedantic(lambda: run_spec(spec), rounds=1, iterations=1)
+    assert merged.verdict == base.verdict == "equivalent"
+    assert merged.stats["merges"] == base.stats["merges"]
+    benchmark.extra_info["shards"] = int(merged.stats["shards"])
+    benchmark.extra_info["solver_calls"] = int(
+        merged.stats.get("solver_calls", 0))

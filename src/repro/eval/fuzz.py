@@ -55,7 +55,15 @@ from ..retiming.apply import apply_forward_retiming, forward_retimable_cells
 from ..retiming.cuts import sized_forward_cut
 from ..verification.registry import Checker, get_checker
 from .cache import measurement_to_dict
-from .runner import CellSpec, Measurement, run_cell, run_cells
+from .runner import (
+    CellSpec,
+    Measurement,
+    method_checker,
+    parse_race,
+    run_cell,
+    run_cells,
+    validate_method,
+)
 from .scenarios import register_scenario
 from .workloads import Workload
 
@@ -236,8 +244,15 @@ def method_applies(checker: Checker, flavour: str) -> bool:
     Cut-point checkers need identical register sets, which retiming breaks
     (registers move and are renamed), so they only see ``fault`` cells.
     Synthesis-style backends and the structural matcher only make sense on
-    pure retimings.
+    pure retimings.  A race ensemble is one backend to the oracle: it
+    applies to a flavour only when **every** rival does — any rival's
+    verdict can become the ensemble's, so one inapplicable rival would
+    make the whole portfolio unjudgeable.
     """
+    rivals = parse_race(checker.name)
+    if rivals is not None:
+        return all(method_applies(get_checker(rival), flavour)
+                   for rival in rivals)
     if checker.kind == "synthesis" or checker.needs_cut:
         return flavour == "retime"
     if checker.name == "match":  # structural matching: pure retiming only
@@ -324,7 +339,7 @@ def _oracle(
             measurement = row.get(method)
             if measurement is None:
                 continue
-            checker = get_checker(method)
+            checker = method_checker(method)
             counters["cex_certified"] += measurement.stats.get("cex_certified", 0.0)
             counters["retries"] += measurement.stats.get("retries", 0.0)
             if measurement.verdict in ("equivalent", "not_equivalent"):
@@ -371,14 +386,14 @@ def run_fuzz(
     runs when the oracle found violations.
     """
     for method in methods:
-        get_checker(method)
+        validate_method(method)
     cells = [build_cell(spec) for spec in specs]
 
     flat_specs: List[CellSpec] = []
     owners: List[Tuple[int, str]] = []
     for index, cell in enumerate(cells):
         for method in methods:
-            if method_applies(get_checker(method), cell.spec.flavour):
+            if method_applies(method_checker(method), cell.spec.flavour):
                 flat_specs.append(CellSpec(
                     cell.workload, method, time_budget, node_budget,
                 ))
@@ -433,7 +448,7 @@ def _measure(spec: FuzzSpec, method: str,
         cell = build_cell(spec)
     except FuzzError:
         return None
-    if not method_applies(get_checker(method), spec.flavour):
+    if not method_applies(method_checker(method), spec.flavour):
         return None
     return run_cell(cell.workload, method, time_budget, node_budget)
 
@@ -444,7 +459,7 @@ def _still_violates(spec: FuzzSpec, method: str, kind: str,
     if measurement is None:
         return False
     expected = "equivalent" if spec.flavour == "retime" else "not_equivalent"
-    found = violation_of(get_checker(method), expected, measurement)
+    found = violation_of(method_checker(method), expected, measurement)
     return found is not None and found[0] == kind
 
 

@@ -37,6 +37,7 @@ def run_table1(
     cache=None,
     client=None,
     aig_opt: bool = True,
+    shards: int = 1,
 ) -> List[Row]:
     """Measure Table I.
 
@@ -61,7 +62,7 @@ def run_table1(
         row = run_row(workload, to_run, time_budget=time_budget,
                       node_budget=node_budget, jobs=jobs, isolate=isolate,
                       on_result=on_result, cache=cache, client=client,
-                      aig_opt=aig_opt)
+                      aig_opt=aig_opt, shards=shards)
         for offset, method in enumerate(skipped):
             measurement = Measurement(
                 workload=workload.name, method=method, status="timeout",

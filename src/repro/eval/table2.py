@@ -41,6 +41,7 @@ def run_table2(
     cache=None,
     client=None,
     aig_opt: bool = True,
+    shards: int = 1,
 ) -> List[Row]:
     """Measure Table II (optionally on a scaled-down suite).
 
@@ -53,7 +54,7 @@ def run_table2(
     return run_rows(workloads, methods, time_budget=time_budget,
                     node_budget=node_budget, jobs=jobs, isolate=isolate,
                     on_result=on_result, cache=cache, client=client,
-                    aig_opt=aig_opt)
+                    aig_opt=aig_opt, shards=shards)
 
 
 def render(rows: Sequence[Row], methods: Optional[Sequence[str]] = None) -> str:

@@ -45,7 +45,7 @@ from ..logic.kernel import KernelError, Theorem, inference_steps
 from ..logic.rules import RuleError, equal_by_normalisation
 from ..logic.stdlib import ensure_stdlib
 from ..logic.terms import Term, Var, mk_tuple, var_subst
-from .bdd import TRUE, BddBudgetExceeded, BddManager
+from .bdd import FALSE, TRUE, BddBudgetExceeded, BddManager
 from .common import (
     Budget,
     TimeoutBudgetExceeded,
@@ -71,12 +71,37 @@ def is_tautology(netlist: Netlist, output: Optional[str] = None) -> bool:
     return fsm.output_fns[out] == TRUE
 
 
+def _shard_prefix(var_names: List[str], shard) -> Optional[Dict[str, bool]]:
+    """The fixed prefix assignment of one input-prefix range shard.
+
+    ``shard=(k, n)`` with ``n = 2^p`` fixes the first ``p`` names of the
+    sorted variable list to the bits of ``k`` — shard ``k`` checks the
+    cofactor of every compared function under that prefix, so the union of
+    all ``n`` shards covers the assignment space exactly once.  When the
+    variable list is shorter than ``p`` bits the surplus shards are empty
+    (``None`` is returned and the shard is trivially equivalent).
+    """
+    if shard is None:
+        return {}
+    index, count = shard
+    if not 0 <= index < count:
+        raise ValueError(f"invalid shard {shard!r}")
+    if count & (count - 1):
+        raise ValueError(f"shard count must be a power of two, got {count}")
+    p = min((count - 1).bit_length(), len(var_names))
+    if index >= (1 << p):
+        return None  # more shards than prefix values: this one is empty
+    return {name: bool((index >> i) & 1)
+            for i, name in enumerate(var_names[:p])}
+
+
 def combinational_equivalent(
     a: Netlist,
     b: Netlist,
     time_budget: Optional[float] = None,
     node_budget: Optional[int] = None,
     aig_opt: bool = True,
+    shard=None,
 ) -> VerificationResult:
     """Combinational equivalence with registers treated as cut points.
 
@@ -86,6 +111,13 @@ def combinational_equivalent(
     restriction the paper states for tautology checking).  Primary outputs
     and next-state functions of same-named registers are compared.
     ``aig_opt`` toggles DAG-aware rewriting during bit-blasting.
+
+    ``shard=(k, n)`` (``n`` a power of two) checks only the cofactor under
+    the ``k``-th assignment of a ``log2(n)``-bit prefix of the sorted
+    input/cut variables — see :func:`_shard_prefix`; two functions are
+    equivalent iff they are equivalent in every cofactor, so the conjunction
+    of all ``n`` shard verdicts equals the unsharded verdict, with each
+    shard's BDDs correspondingly smaller.
     """
     start = time.perf_counter()
     budget = Budget(seconds=time_budget)
@@ -108,12 +140,32 @@ def combinational_equivalent(
             for reg in gate.registers.values():
                 manager.declare(f"cut.{reg.name}")
 
+        cofactor_vars = sorted(
+            set(gate_a.inputs)
+            | {f"cut.{reg.name}" for gate in (gate_a, gate_b)
+               for reg in gate.registers.values()}
+        )
+        fixed = _shard_prefix(cofactor_vars, shard)
+        if fixed is None:
+            return VerificationResult(
+                method="tautology", status="equivalent",
+                seconds=time.perf_counter() - start,
+                detail=f"empty shard {shard[0] + 1}/{shard[1]} "
+                       f"(only {len(cofactor_vars)} prefix bits)",
+                stats={**manager.op_stats(), **opt_stats},
+            )
+
+        def bdd_of(name: str) -> int:
+            if name in fixed:
+                return TRUE if fixed[name] else FALSE
+            return manager.var(name)
+
         def net_functions(gate: Netlist) -> Dict[str, int]:
             values: Dict[str, int] = {}
             for name in gate.inputs:
-                values[name] = manager.var(name)
+                values[name] = bdd_of(name)
             for reg in gate.registers.values():
-                values[reg.output] = manager.var(f"cut.{reg.name}")
+                values[reg.output] = bdd_of(f"cut.{reg.name}")
             from .common import _cell_bdd
 
             for cell in gate.topological_cells():
@@ -148,16 +200,22 @@ def combinational_equivalent(
             mismatches.append(f"register {name} present in only one circuit")
 
         seconds = time.perf_counter() - start
+        shard_note = ("" if not fixed else
+                      f" [shard {shard[0] + 1}/{shard[1]}: "
+                      f"{len(fixed)}-bit prefix cofactor]")
         if mismatches:
+            counterexample = None
+            if witness is not None:
+                # the witness separates the *cofactors*: pin the fixed
+                # prefix bits so the replayed assignment stays separating
+                counterexample = {**manager.any_sat(witness), **fixed}
             return VerificationResult(
                 method="tautology",
                 status="not_equivalent",
                 seconds=seconds,
                 peak_nodes=manager.num_nodes,
-                counterexample=(
-                    manager.any_sat(witness) if witness is not None else None
-                ),
-                detail="; ".join(mismatches),
+                counterexample=counterexample,
+                detail="; ".join(mismatches) + shard_note,
                 stats={**manager.op_stats(), **opt_stats},
             )
         return VerificationResult(
@@ -166,7 +224,7 @@ def combinational_equivalent(
             seconds=seconds,
             peak_nodes=manager.num_nodes,
             detail="all outputs and next-state functions agree "
-                   f"({manager.num_nodes} BDD nodes)",
+                   f"({manager.num_nodes} BDD nodes)" + shard_note,
             stats={**manager.op_stats(), **opt_stats},
         )
     except (TimeoutBudgetExceeded, BddBudgetExceeded) as exc:
@@ -234,6 +292,36 @@ def _assignments(names: List[str]):
         yield {name: bool((bits >> i) & 1) for i, name in enumerate(names)}
 
 
+def _shard_assignments(names: List[str], shard):
+    """Assignments whose low prefix bits spell this shard's index.
+
+    With ``shard=(k, n)`` (``n = 2^p``) only the assignments whose first
+    ``p`` variables (low bit positions of the enumeration counter) equal
+    the bits of ``k`` are yielded — a contiguous index-range slice of the
+    full enumeration order, so the ``n`` shards partition the vector space
+    exactly.  ``shard=None`` degrades to :func:`_assignments`.  Returns
+    ``(generator, vectors_in_shard)``; empty surplus shards (more shards
+    than prefix values) yield nothing.
+    """
+    if shard is None:
+        return _assignments(names), 1 << len(names)
+    index, count = shard
+    if not 0 <= index < count:
+        raise ValueError(f"invalid shard {shard!r}")
+    if count & (count - 1):
+        raise ValueError(f"shard count must be a power of two, got {count}")
+    p = min((count - 1).bit_length(), len(names))
+    if index >= (1 << p):
+        return iter(()), 0
+
+    def generate():
+        for j in range(1 << (len(names) - p)):
+            bits = index | (j << p)
+            yield {name: bool((bits >> i) & 1) for i, name in enumerate(names)}
+
+    return generate(), 1 << (len(names) - p)
+
+
 def _eval_under(term: Term, assignment: Dict[str, bool]) -> Theorem:
     """``|- term[assignment] = value`` via the worklist evaluation engine."""
     from ..logic.ground import mk_bool
@@ -274,6 +362,7 @@ def combinational_equivalent_by_rewriting(
     b: Netlist,
     time_budget: Optional[float] = None,
     max_vectors: int = 4096,
+    shard=None,
 ) -> VerificationResult:
     """Kernel-checked combinational equivalence on the rewrite engine.
 
@@ -285,6 +374,11 @@ def combinational_equivalent_by_rewriting(
     Exponential in the number of input/cut bits, so bounded by
     ``max_vectors``; overruns are reported as ``timeout`` (the paper's
     dashes), not as errors.
+
+    ``shard=(k, n)`` (``n`` a power of two) enumerates only the ``k``-th
+    index-range slice of the vector space (:func:`_shard_assignments`);
+    the ``max_vectors`` bound then applies per shard, which is exactly how
+    sharding opens circuits the unsharded enumeration refuses.
     """
     start = time.perf_counter()
     steps_before = inference_steps()
@@ -311,12 +405,15 @@ def combinational_equivalent_by_rewriting(
         vals_a, names_a = _net_terms(gate_a)
         vals_b, names_b = _net_terms(gate_b)
         var_names = sorted(set(names_a) | set(names_b))
-        if (1 << len(var_names)) > max_vectors:
+        assignments, shard_vectors = _shard_assignments(var_names, shard)
+        if shard_vectors > max_vectors:
+            over = (f"2^{len(var_names)}" if shard is None else
+                    f"this shard's {shard_vectors}")
             return VerificationResult(
                 method="tautology-rw",
                 status="timeout",
                 seconds=time.perf_counter() - start,
-                detail=f"2^{len(var_names)} vectors exceed the budget of {max_vectors}",
+                detail=f"{over} vectors exceed the budget of {max_vectors}",
             )
 
         # compare by *name*, not declaration order, like the BDD checker:
@@ -336,7 +433,7 @@ def combinational_equivalent_by_rewriting(
         theorems = 0
         counterexample: Optional[Dict[str, bool]] = None
         if not mismatches:
-            for assignment in _assignments(var_names):
+            for assignment in assignments:
                 if time_budget is not None and time.perf_counter() - start > time_budget:
                     return VerificationResult(
                         method="tautology-rw",
@@ -375,12 +472,14 @@ def combinational_equivalent_by_rewriting(
                 detail="; ".join(mismatches),
                 stats=stats,
             )
+        shard_note = ("" if shard is None else
+                      f" [shard {shard[0] + 1}/{shard[1]}]")
         return VerificationResult(
             method="tautology-rw",
             status="equivalent",
             seconds=seconds,
             detail=f"{theorems} kernel-checked case theorems "
-                   f"over {len(var_names)} input/cut bits",
+                   f"over {len(var_names)} input/cut bits" + shard_note,
             stats=stats,
         )
     except (ConvError, KernelError, ValueError) as exc:

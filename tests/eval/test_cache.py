@@ -191,6 +191,51 @@ class TestCellKeyDeterminism:
         assert netlist_fingerprint(a) == netlist_fingerprint(b)
 
 
+#: pinned digest of (_golden_workload(), "race:smv,sis", 10.0, 1000,
+#: salt="golden-salt") — the canonical race key; it must survive refactors
+#: of the race-method spelling, or every cached race cell is orphaned
+RACE_GOLDEN_DIGEST = (
+    "2507fb28b2a7cdddcd965a4e5860a2aa5346aaaf65d1e281d2939d350ca5e136"
+)
+
+
+class TestRaceCellKeys:
+    """Race cells key on the logical cell and the rival *set*."""
+
+    def test_race_golden_digest(self):
+        key = cell_key(_golden_workload(), "race:smv,sis", 10.0, 1000,
+                       salt="golden-salt")
+        assert key == RACE_GOLDEN_DIGEST
+
+    def test_rival_order_is_irrelevant(self):
+        w = _golden_workload()
+        assert (cell_key(w, "race:smv,sis", 10.0, 1000)
+                == cell_key(w, "race:sis,smv", 10.0, 1000))
+
+    def test_aliases_share_the_entry(self):
+        w = _golden_workload()
+        assert (cell_key(w, "race:bdd,sat", 10.0, 1000)
+                == cell_key(w, "race:taut,sat", 10.0, 1000))
+
+    def test_race_never_collides_with_a_rival(self):
+        w = _golden_workload()
+        race = cell_key(w, "race:taut,sat", 10.0, 1000)
+        assert race != cell_key(w, "sat", 10.0, 1000)
+        assert race != cell_key(w, "taut", 10.0, 1000)
+
+    def test_different_rosters_are_different_cells(self):
+        w = _golden_workload()
+        assert (cell_key(w, "race:taut,sat", 10.0, 1000)
+                != cell_key(w, "race:taut,fraig", 10.0, 1000))
+
+    def test_shard_count_is_absent_from_the_key(self):
+        from repro.eval.cache import spec_key
+
+        w = _golden_workload()
+        assert (spec_key(CellSpec(w, "fraig", 10.0, 1000, shards=4))
+                == spec_key(CellSpec(w, "fraig", 10.0, 1000)))
+
+
 class TestMeasurementRoundTrip:
     def test_dict_round_trip_preserves_everything(self):
         m = Measurement("w", "m", "timeout", 1.2345678901234567,
@@ -198,6 +243,15 @@ class TestMeasurementRoundTrip:
                         stats={"kernel_steps": 42.0, "peak_nodes": 7.0})
         again = measurement_from_dict(json.loads(json.dumps(measurement_to_dict(m))))
         assert again == m
+
+    def test_race_winner_string_survives_the_round_trip(self):
+        m = Measurement("w", "race:sis,smv", "ok", 0.5,
+                        stats={"race_winner": "sis", "race_losers": 1.0,
+                               "race_cancelled_seconds": 0.25})
+        again = measurement_from_dict(
+            json.loads(json.dumps(measurement_to_dict(m))))
+        assert again == m
+        assert again.stats["race_winner"] == "sis"  # not float-coerced
 
 
 class TestResultCache:

@@ -1,0 +1,464 @@
+"""Tests for portfolio racing (:mod:`repro.eval.runner` + the pool).
+
+Covers the race method grammar (parsing, aliases, canonicalisation), the
+deterministic :func:`merge_race` reducer (winner relabelling, loser
+accounting, differential cross-checks), serial answer-fast execution, and
+the pool's cancel protocol: a rigged slow rival is killed promptly after
+the fast rival's definite verdict, without corrupting the pool.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.eval.cache import ResultCache
+from repro.eval.runner import (
+    DEFAULT_RACE_RIVALS,
+    CellSpec,
+    Measurement,
+    canonical_method,
+    merge_race,
+    merge_shards,
+    method_checker,
+    parse_race,
+    render_table,
+    run_rows,
+    run_spec,
+    validate_method,
+)
+from repro.eval.service import DaemonClient, WorkerPool, serve
+from repro.eval.workloads import table1_workload
+from repro.verification.common import VerificationResult
+from repro.verification.registry import register_checker, unregister_checker
+
+needs_fork = pytest.mark.skipif(
+    not hasattr(os, "fork"),
+    reason="stub backends only reach isolated workers via fork",
+)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic stub backends (registered for this module only)
+# ---------------------------------------------------------------------------
+
+def _stub_fast(original, retimed, time_budget=None):
+    return VerificationResult(method="race-fast", status="equivalent",
+                              seconds=0.01, detail="stub fast",
+                              stats={"kernel_steps": 7.0})
+
+
+def _stub_slow(original, retimed, time_budget=None):
+    time.sleep(300)  # never polls any budget; only a kill stops it
+
+
+def _stub_indefinite(original, retimed, time_budget=None):
+    return VerificationResult(method="race-maybe", status="timeout",
+                              seconds=float(time_budget or 0.0),
+                              detail="gave up")
+
+
+def _stub_refute(original, retimed, time_budget=None):
+    return VerificationResult(method="race-refute", status="not_equivalent",
+                              seconds=0.01, detail="stub refutation")
+
+
+_STUBS = {
+    "race-fast": _stub_fast,
+    "race-slow": _stub_slow,
+    "race-maybe": _stub_indefinite,
+    "race-refute": _stub_refute,
+}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def stub_backends():
+    for name, fn in _STUBS.items():
+        register_checker(name, fn, accepts=("time_budget",), replace=True)
+    yield
+    for name in _STUBS:
+        unregister_checker(name)
+
+
+@pytest.fixture(scope="module")
+def tiny_workload():
+    return table1_workload(1)
+
+
+def _measurement(method, status, seconds=1.0, verdict="", stats=None, **kw):
+    return Measurement(workload="w", method=method, status=status,
+                       seconds=seconds, verdict=verdict,
+                       stats=dict(stats or {}), **kw)
+
+
+# ---------------------------------------------------------------------------
+# Method grammar
+# ---------------------------------------------------------------------------
+
+class TestRaceGrammar:
+    def test_plain_method_is_not_a_race(self):
+        assert parse_race("sat") is None
+        assert parse_race("taut-rw") is None
+
+    def test_bare_race_uses_the_default_rivals(self):
+        assert parse_race("race") == DEFAULT_RACE_RIVALS
+        for rival in DEFAULT_RACE_RIVALS:
+            validate_method(rival)  # every default rival is registered
+
+    def test_rival_order_is_preserved(self):
+        assert parse_race("race:smv,sis") == ("smv", "sis")
+
+    def test_bdd_alias_resolves_to_taut(self):
+        assert parse_race("race:bdd,sat,fraig") == ("taut", "sat", "fraig")
+
+    def test_single_rival_is_rejected(self):
+        with pytest.raises(ValueError):
+            parse_race("race:sat")
+
+    def test_duplicate_rivals_are_rejected(self):
+        with pytest.raises(ValueError):
+            parse_race("race:sat,sat")
+        with pytest.raises(ValueError):
+            parse_race("race:bdd,taut")  # alias collides post-resolution
+
+    def test_unknown_rival_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            parse_race("race:sat,nosuch")
+
+    def test_canonical_method_sorts_the_roster(self):
+        assert canonical_method("race:smv,sis") == "race:sis,smv"
+        assert canonical_method("race:sis,smv") == "race:sis,smv"
+        assert (canonical_method("race:bdd,sat")
+                == canonical_method("race:taut,sat"))
+
+    def test_canonical_method_keeps_plain_methods(self):
+        assert canonical_method("sat") == "sat"
+
+    def test_validate_method_accepts_both_kinds(self):
+        validate_method("sat")
+        validate_method("race:sat,taut")
+        with pytest.raises(KeyError):
+            validate_method("nosuch")
+        with pytest.raises(KeyError):
+            validate_method("race:sat,nosuch")
+
+    def test_method_checker_is_synthetic_for_races(self):
+        checker = method_checker("race:sat,taut")
+        assert checker.name == "race:sat,taut"
+        assert checker.complete  # both rivals are complete
+        assert not checker.needs_cut
+
+    def test_method_checker_completeness_needs_every_rival(self):
+        # eijk's invariant method is incomplete, so the ensemble is too
+        assert not method_checker("race:sat,eijk").complete
+
+
+# ---------------------------------------------------------------------------
+# The merge_race reducer
+# ---------------------------------------------------------------------------
+
+class TestMergeRace:
+    def _spec(self, tiny_workload):
+        return CellSpec(tiny_workload, "race:race-fast,race-slow")
+
+    def test_winner_is_relabelled_with_race_stats(self, tiny_workload):
+        winner = _measurement("race-fast", "ok", seconds=0.5,
+                              verdict="equivalent",
+                              stats={"kernel_steps": 7.0})
+        merged = merge_race(self._spec(tiny_workload),
+                            finished=[("race-fast", winner)],
+                            cancelled=[("race-slow", 0.25)])
+        assert merged.method == "race:race-fast,race-slow"
+        assert merged.status == "ok"
+        assert merged.verdict == "equivalent"
+        assert merged.seconds == 0.5
+        assert merged.stats["race_winner"] == "race-fast"
+        assert merged.stats["race_rivals"] == 2.0
+        assert merged.stats["race_losers"] == 1.0
+        assert merged.stats["race_cancelled_seconds"] == 0.25
+        assert merged.stats["kernel_steps"] == 7.0  # winner's own counters
+
+    def test_cross_check_disagreement_fails_the_cell(self, tiny_workload):
+        yes = _measurement("race-fast", "ok", verdict="equivalent")
+        no = _measurement("race-refute", "failed", verdict="not_equivalent")
+        merged = merge_race(self._spec(tiny_workload),
+                            finished=[("race-fast", yes),
+                                      ("race-refute", no)])
+        assert merged.status == "failed"
+        assert merged.verdict == "error"
+        assert "cross-check" in merged.detail
+        assert "race-fast=equivalent" in merged.detail
+        assert "race-refute=not_equivalent" in merged.detail
+
+    def test_agreeing_late_finisher_is_not_a_disagreement(self, tiny_workload):
+        first = _measurement("race-fast", "ok", verdict="equivalent")
+        late = _measurement("race-slow", "ok", verdict="equivalent")
+        merged = merge_race(self._spec(tiny_workload),
+                            finished=[("race-fast", first),
+                                      ("race-slow", late)])
+        assert merged.status == "ok"
+        assert merged.stats["race_winner"] == "race-fast"
+
+    def test_all_indefinite_with_timeout_is_the_dash(self, tiny_workload):
+        dash = _measurement("race-maybe", "timeout", verdict="timeout")
+        err = _measurement("race-fast", "failed", verdict="error")
+        merged = merge_race(self._spec(tiny_workload),
+                            finished=[("race-maybe", dash),
+                                      ("race-fast", err)],
+                            not_run=["race-slow"])
+        assert merged.status == "timeout"
+        assert merged.verdict == "timeout"
+        assert "no definite verdict" in merged.detail
+        assert "race-slow: not run" in merged.detail
+        assert merged.stats["race_losers"] == 2.0  # nobody won
+
+    def test_refuting_winner_keeps_its_counterexample(self, tiny_workload):
+        cex = {"pi0": True}
+        no = _measurement("race-refute", "failed", verdict="not_equivalent",
+                          counterexample=cex)
+        merged = merge_race(self._spec(tiny_workload),
+                            finished=[("race-refute", no)],
+                            not_run=["race-fast"])
+        assert merged.verdict == "not_equivalent"
+        assert merged.counterexample == cex
+
+
+# ---------------------------------------------------------------------------
+# The merge_shards reducer (backend-independent invariants)
+# ---------------------------------------------------------------------------
+
+class TestMergeShards:
+    def _spec(self, tiny_workload):
+        # taut-rw declares "vectors" additive; peaks take the max
+        return CellSpec(tiny_workload, "taut-rw", shards=2)
+
+    def test_sum_and_max_split_by_declared_stats(self, tiny_workload):
+        parts = [
+            _measurement("taut-rw", "ok", seconds=1.0, verdict="equivalent",
+                         stats={"vectors": 8.0, "graph_nodes": 10.0}),
+            _measurement("taut-rw", "ok", seconds=3.0, verdict="equivalent",
+                         stats={"vectors": 8.0, "graph_nodes": 12.0}),
+        ]
+        merged = merge_shards(self._spec(tiny_workload), parts)
+        assert merged.status == "ok"
+        assert merged.verdict == "equivalent"
+        assert merged.stats["vectors"] == 16.0     # declared additive
+        assert merged.stats["graph_nodes"] == 12.0  # peak: max
+        assert merged.stats["shards"] == 2.0
+        assert merged.seconds == 3.0  # the slowest shard is the critical path
+        assert merged.detail.startswith("merged 2 shards; ")
+
+    def test_any_refuting_shard_refutes_the_cell(self, tiny_workload):
+        cex = {"pi0": False}
+        parts = [
+            _measurement("taut-rw", "ok", verdict="equivalent"),
+            _measurement("taut-rw", "failed", verdict="not_equivalent",
+                         detail="refuted in shard", counterexample=cex),
+        ]
+        merged = merge_shards(self._spec(tiny_workload), parts)
+        assert merged.status == "failed"
+        assert merged.verdict == "not_equivalent"
+        assert merged.counterexample == cex
+        assert merged.detail == "refuted in shard"
+
+    def test_timeout_shard_dashes_the_cell(self, tiny_workload):
+        parts = [
+            _measurement("taut-rw", "ok", verdict="equivalent"),
+            _measurement("taut-rw", "timeout", verdict="timeout"),
+        ]
+        merged = merge_shards(self._spec(tiny_workload), parts)
+        assert merged.status == "timeout"
+        assert merged.verdict == "timeout"
+
+
+# ---------------------------------------------------------------------------
+# Serial answer-fast execution
+# ---------------------------------------------------------------------------
+
+class TestSerialRace:
+    def test_first_definite_rival_wins_and_rest_never_run(self, tiny_workload):
+        spec = CellSpec(tiny_workload, "race:race-fast,race-slow",
+                        time_budget=5.0)
+        measurement = run_spec(spec)
+        assert measurement.status == "ok"
+        assert measurement.verdict == "equivalent"
+        assert measurement.stats["race_winner"] == "race-fast"
+        assert measurement.stats["race_losers"] == 0.0  # never dispatched
+        assert measurement.stats["race_rivals"] == 2.0
+
+    def test_indefinite_rival_falls_through_to_the_next(self, tiny_workload):
+        spec = CellSpec(tiny_workload, "race:race-maybe,race-fast",
+                        time_budget=0.5)
+        measurement = run_spec(spec)
+        assert measurement.verdict == "equivalent"
+        assert measurement.stats["race_winner"] == "race-fast"
+        assert measurement.stats["race_losers"] == 1.0  # the indefinite rival
+
+
+# ---------------------------------------------------------------------------
+# Pool racing: cancellation, reaping, pool health
+# ---------------------------------------------------------------------------
+
+@needs_fork
+class TestPoolRace:
+    def test_slow_rival_is_cancelled_promptly(self, tiny_workload):
+        spec = CellSpec(tiny_workload, "race:race-slow,race-fast",
+                        time_budget=120.0)
+        with WorkerPool(2, grace=2.0) as pool:
+            started = time.monotonic()
+            results = pool.run([(0, spec)])
+            elapsed = time.monotonic() - started
+            assert pool.cancelled == 1
+            recycled = pool.recycled
+            # the pool must stay usable after the kill
+            again = pool.run(
+                [(0, CellSpec(tiny_workload, "race-fast", time_budget=5.0))])
+            assert again[0].verdict == "equivalent"
+            assert pool.recycled == recycled  # no surprise extra recycling
+        # answer-fast: nowhere near the sleeper's 300 s, nor the budget;
+        # generous bound for slow CI machines
+        assert elapsed < 30.0
+        merged = results[0]
+        assert merged.verdict == "equivalent"
+        assert merged.stats["race_winner"] == "race-fast"
+        assert merged.stats["race_losers"] == 1.0
+        assert merged.stats["race_cancelled_seconds"] > 0.0
+
+    def test_cancel_reaping_beats_the_budget_deadline(self, tiny_workload):
+        """Satellite: the select loop wakes for the *cancel* deadline.
+
+        The sleeper's budget kill would fire after 120 s; the tightened
+        (deadline, cancel) wait must reap it in roughly ``grace`` instead,
+        even when the cancel message itself is lost on a wedged worker.
+        """
+        spec = CellSpec(tiny_workload, "race:race-slow,race-fast",
+                        time_budget=120.0)
+        with WorkerPool(2, grace=1.0) as pool:
+            started = time.monotonic()
+            pool.run([(0, spec)])
+            elapsed = time.monotonic() - started
+        assert elapsed < 20.0  # grace-scale, not budget-scale
+
+    def test_queued_sibling_is_dropped_not_run(self, tiny_workload):
+        # one worker: the fast rival runs first, the sleeper never leaves
+        # the queue, so no kill is needed at all
+        spec = CellSpec(tiny_workload, "race:race-fast,race-slow",
+                        time_budget=120.0)
+        with WorkerPool(1, grace=1.0) as pool:
+            results = pool.run([(0, spec)])
+            assert pool.cancelled == 0
+            assert pool.recycled == 0
+        merged = results[0]
+        assert merged.stats["race_winner"] == "race-fast"
+        assert merged.stats["race_losers"] == 0.0
+        assert merged.stats["race_cancelled_seconds"] == 0.0
+
+    def test_all_indefinite_race_is_a_dash(self, tiny_workload):
+        spec = CellSpec(tiny_workload, "race:race-maybe,race-to",
+                        time_budget=0.5)
+        register_checker("race-to", _stub_indefinite,
+                         accepts=("time_budget",), replace=True)
+        try:
+            with WorkerPool(2, grace=2.0) as pool:
+                results = pool.run([(0, spec)])
+        finally:
+            unregister_checker("race-to")
+        assert results[0].status == "timeout"
+        assert "no definite verdict" in results[0].detail
+
+    def test_race_counts_as_one_logical_cell(self, tiny_workload):
+        spec = CellSpec(tiny_workload, "race:race-fast,race-maybe",
+                        time_budget=5.0)
+        seen = []
+        with WorkerPool(2, grace=2.0) as pool:
+            pool.run([(0, spec)], on_result=lambda i, m: seen.append(i))
+            assert pool.cells_run == 1
+        assert seen == [0]
+
+
+# ---------------------------------------------------------------------------
+# Mode parity: serial and pool runs agree through the shared cache
+# ---------------------------------------------------------------------------
+
+@needs_fork
+class TestRaceModeParity:
+    def test_serial_and_jobs_tables_are_identical(self, tiny_workload,
+                                                  tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        methods = ["race:race-fast,race-maybe"]
+
+        def render(jobs):
+            rows = run_rows([tiny_workload], methods, time_budget=5.0,
+                            jobs=jobs, cache=cache)
+            return render_table(rows, methods, title="parity")
+
+        cold = render(4)   # pool run populates the cache
+        warm = render(1)   # serial replays the merged measurement
+        assert cold == warm
+        assert cache.hits >= 1
+
+    def test_daemon_replays_the_merged_race_measurement(self, tiny_workload,
+                                                        tmp_path):
+        socket_path = str(tmp_path / "race.sock")
+        cache = ResultCache(str(tmp_path / "cache"))
+        ready = threading.Event()
+        thread = threading.Thread(
+            target=serve,
+            kwargs=dict(socket_path=socket_path, jobs=2, cache=cache,
+                        log=lambda msg: None, ready=ready),
+            daemon=True,
+        )
+        thread.start()
+        assert ready.wait(10.0), "daemon failed to start"
+        client = DaemonClient(socket_path)
+        try:
+            spec = CellSpec(tiny_workload, "race:race-fast,race-maybe",
+                            time_budget=5.0)
+            cold = client.run_cells([spec])
+            warm = client.run_cells([spec])
+            assert warm == cold  # the merged measurement replays exactly
+            assert cold[0].stats["race_winner"] == "race-fast"
+            info = client.ping()
+            assert info["cells_run"] == 1  # one logical cell, not two
+            assert "cancelled" in info
+        finally:
+            try:
+                client.shutdown()
+            except (OSError, EOFError):
+                pass
+            thread.join(10.0)
+        assert not thread.is_alive(), "daemon failed to shut down"
+
+
+# ---------------------------------------------------------------------------
+# The fuzz oracle treats a race as one backend
+# ---------------------------------------------------------------------------
+
+class TestFuzzRace:
+    def test_race_applies_only_where_every_rival_does(self):
+        from repro.eval.fuzz import method_applies
+
+        # cut-point rivals restrict the ensemble to fault cells
+        assert not method_applies(method_checker("race:taut,sat"), "retime")
+        assert method_applies(method_checker("race:taut,sat"), "fault")
+        # the default roster includes hash (synthesis): retimings only
+        assert method_applies(method_checker("race"), "retime")
+        assert not method_applies(method_checker("race"), "fault")
+        # a roster of unrestricted rivals covers every flavour
+        for flavour in ("retime", "fault", "retime-fault"):
+            assert method_applies(method_checker("race:sis,smv"), flavour)
+
+    def test_fuzz_sweep_with_a_race_ensemble_is_clean(self):
+        from repro.eval.fuzz import make_specs, run_fuzz
+
+        report = run_fuzz(make_specs(4, seed=11),
+                          methods=["race:sis,smv"],
+                          time_budget=20.0, jobs=1, isolate=False,
+                          shrink=False)
+        assert not report.violations
+        assert not report.disagreements
+        # fault cells were judged (the ensemble is applicable and definite)
+        assert report.counters["fault_cells"] >= 1.0
+        assert (report.counters["faults_detected"]
+                == report.counters["fault_cells"])

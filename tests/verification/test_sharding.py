@@ -1,0 +1,163 @@
+"""Tests for intra-cell sharding at the backend layer.
+
+The :class:`~repro.verification.registry.ShardableCheck` protocol and the
+three initial implementations: FRAIG candidate-class ranges, tautology
+(BDD) input-prefix cofactoring, and taut-rw vector-range enumeration.
+The governing invariant everywhere: the shard-merged verdict and the
+declared additive counters equal the unsharded run's, for every shard
+count.
+"""
+
+import pytest
+
+from repro.eval.runner import CellSpec, merge_shards, run_spec
+from repro.eval.scenarios import build_scenario
+from repro.verification.registry import (
+    get_shardable,
+    register_shardable,
+    run_checker,
+    shardable_methods,
+    unregister_checker,
+)
+
+SHARDED = ("fraig", "taut", "taut-rw")
+
+
+@pytest.fixture(scope="module")
+def strash():
+    return build_scenario("strash", widths=[3])[0]
+
+
+@pytest.fixture(scope="module")
+def counter():
+    return build_scenario("strash", widths=[3])[1]
+
+
+# ---------------------------------------------------------------------------
+# The registry protocol
+# ---------------------------------------------------------------------------
+
+class TestShardableRegistry:
+    def test_initial_backends_are_registered(self):
+        assert set(SHARDED) <= set(shardable_methods())
+
+    def test_unshardable_method_returns_none(self):
+        assert get_shardable("smv") is None
+
+    def test_plan_bounds_the_effective_count(self, strash):
+        for method in SHARDED:
+            shardable = get_shardable(method)
+            effective = shardable.plan(strash.original, strash.retimed, 4)
+            assert 1 <= effective <= 64
+            assert shardable.plan(strash.original, strash.retimed, 1) == 1
+
+    def test_prefix_plans_settle_on_powers_of_two(self, strash):
+        for method in ("taut", "taut-rw"):
+            plan = get_shardable(method).plan
+            for requested in (2, 3, 4, 5, 8):
+                effective = plan(strash.original, strash.retimed, requested)
+                assert effective & (effective - 1) == 0  # a power of two
+
+    def test_register_shardable_requires_a_registered_checker(self):
+        with pytest.raises(KeyError):
+            register_shardable("nosuch", lambda o, r, n: n,
+                              sum_stats=frozenset())
+
+    def test_register_shardable_requires_shard_in_accepts(self):
+        from repro.verification.common import VerificationResult
+        from repro.verification.registry import register_checker
+
+        register_checker(
+            "shardless", lambda o, r: VerificationResult(
+                method="shardless", status="equivalent", seconds=0.0),
+            accepts=(), replace=True)
+        try:
+            with pytest.raises(ValueError):
+                register_shardable("shardless", lambda o, r, n: n,
+                                  sum_stats=frozenset())
+        finally:
+            unregister_checker("shardless")
+
+
+# ---------------------------------------------------------------------------
+# Backend-level shard correctness
+# ---------------------------------------------------------------------------
+
+class TestBackendShards:
+    @pytest.mark.parametrize("method", SHARDED)
+    def test_equivalent_pair_every_shard_agrees(self, counter, method):
+        base = run_checker(method, counter.original, counter.retimed,
+                           time_budget=60.0, node_budget=500_000)
+        assert base.status == "equivalent"
+        for k in range(4):
+            part = run_checker(method, counter.original, counter.retimed,
+                               time_budget=60.0, node_budget=500_000,
+                               shard=(k, 4))
+            assert part.status == "equivalent", f"{method} shard {k}"
+
+    def test_taut_rw_vector_counts_sum_exactly(self, counter):
+        base = run_checker("taut-rw", counter.original, counter.retimed,
+                           time_budget=60.0)
+        sharded = sum(
+            run_checker("taut-rw", counter.original, counter.retimed,
+                        time_budget=60.0, shard=(k, 4)).stats["vectors"]
+            for k in range(4)
+        )
+        assert sharded == base.stats["vectors"]
+
+    def test_invalid_shard_ranges_are_rejected(self, strash):
+        for bad in ((4, 4), (-1, 4), (0, 0)):
+            with pytest.raises(ValueError):
+                run_checker("fraig", strash.original, strash.retimed,
+                            time_budget=60.0, shard=bad)
+        with pytest.raises(ValueError):
+            # taut requires a power-of-two shard count
+            run_checker("taut", strash.original, strash.retimed,
+                        time_budget=60.0, shard=(0, 3))
+
+    def test_degenerate_single_shard_is_the_unsharded_run(self, counter):
+        base = run_checker("taut-rw", counter.original, counter.retimed,
+                           time_budget=60.0)
+        single = run_checker("taut-rw", counter.original, counter.retimed,
+                             time_budget=60.0, shard=(0, 1))
+        assert single.status == base.status
+        assert single.stats["vectors"] == base.stats["vectors"]
+
+
+# ---------------------------------------------------------------------------
+# The merged cell equals the unsharded cell
+# ---------------------------------------------------------------------------
+
+class TestShardedCells:
+    @pytest.mark.parametrize("method", SHARDED)
+    def test_merged_verdict_matches_unsharded(self, counter, method):
+        base = run_spec(CellSpec(counter, method, time_budget=60.0))
+        merged = run_spec(CellSpec(counter, method, time_budget=60.0,
+                                   shards=4))
+        assert merged.verdict == base.verdict == "equivalent"
+        assert merged.stats["shards"] >= 2.0
+
+    def test_merged_additive_counters_sum(self, counter):
+        base = run_spec(CellSpec(counter, "taut-rw", time_budget=60.0))
+        merged = run_spec(CellSpec(counter, "taut-rw", time_budget=60.0,
+                                   shards=4))
+        assert merged.stats["vectors"] == base.stats["vectors"]
+
+    def test_refuting_shard_carries_a_certified_counterexample(self):
+        from repro.eval.fuzz import build_cell, make_specs
+
+        # a fault-injected pair: ground truth not_equivalent
+        spec = next(s for s in make_specs(6, seed=3)
+                    if s.flavour == "fault")
+        cell = build_cell(spec)
+        merged = run_spec(CellSpec(cell.workload, "fraig",
+                                   time_budget=60.0, shards=4))
+        assert merged.verdict == "not_equivalent"
+        assert merged.counterexample is not None
+        assert merged.stats.get("cex_certified") == 1.0
+
+    def test_unshardable_method_ignores_the_shard_request(self, strash):
+        base = run_spec(CellSpec(strash, "smv", time_budget=60.0))
+        same = run_spec(CellSpec(strash, "smv", time_budget=60.0, shards=4))
+        assert same.verdict == base.verdict
+        assert "shards" not in same.stats
